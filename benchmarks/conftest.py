@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Result tables are printed from ``pytest_terminal_summary`` (pytest
+shows that output regardless of capture settings) and also written to
+``table1_results.txt`` next to the working directory for EXPERIMENTS.md
+bookkeeping.
+"""
+
+import pytest
+
+
+class RowCollector:
+    """Accumulates Table 1 rows across parametrised benches so the full
+    table can be printed once at session end."""
+
+    def __init__(self):
+        self.rows = []
+
+    def append(self, row):
+        self.rows.append(row)
+
+
+_COLLECTOR = RowCollector()
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    return _COLLECTOR
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _COLLECTOR.rows:
+        return
+    from repro.experiments import average_decrease, format_rows
+
+    lines = ["", "=== Table 1 (regenerated) ===", format_rows(_COLLECTOR.rows)]
+    avg = average_decrease(_COLLECTOR.rows)
+    if avg is not None:
+        lines.append(f"Average N_FOA decrease (defined rows): {100 * avg:.0f}%")
+    lines.append("Paper reports an average decrease of 84%.")
+    text = "\n".join(lines)
+    terminalreporter.write_line(text)
+    try:
+        with open("table1_results.txt", "w") as f:
+            f.write(text + "\n")
+    except OSError:
+        pass

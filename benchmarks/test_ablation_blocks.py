@@ -1,0 +1,51 @@
+"""Ablation: partition granularity (number of circuit blocks).
+
+The paper closes Section 5 observing that "the results for circuit
+s1269 can be improved greatly by changing the circuit partition" and
+expects better convergence from partition-aware flows. This bench
+sweeps the block count on a hard circuit and reports how min-area and
+LAC violations respond: coarser partitions pool more capacity per
+merged soft tile (fewer violations), finer partitions localise better
+but fragment capacity.
+"""
+
+import pytest
+
+from repro.core import plan_interconnect
+from repro.experiments import get_circuit
+
+BLOCK_COUNTS = [4, 8, 12]
+
+
+@pytest.fixture(scope="module")
+def block_results():
+    results = {}
+    yield results
+    print("\n\n=== partition granularity ablation (circuit s1269) ===")
+    print(f"{'blocks':>7} {'MA N_FOA':>9} {'LAC N_FOA':>10} {'N_F':>5}")
+    for n in sorted(results):
+        ma, lac, nf = results[n]
+        print(f"{n:>7} {ma:>9} {lac:>10} {nf:>5}")
+
+
+@pytest.mark.parametrize("n_blocks", BLOCK_COUNTS)
+def test_partition_granularity(benchmark, n_blocks, block_results):
+    spec = get_circuit("s1269")
+    outcome = benchmark.pedantic(
+        lambda: plan_interconnect(
+            spec.build(),
+            seed=spec.seed,
+            whitespace=spec.whitespace,
+            n_blocks=n_blocks,
+            max_iterations=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    it = outcome.first
+    block_results[n_blocks] = (
+        it.min_area.report.n_foa,
+        it.lac.report.n_foa,
+        it.lac.report.n_f,
+    )
+    assert it.lac.report.n_foa <= it.min_area.report.n_foa

@@ -1,0 +1,55 @@
+"""Ablation: tile granularity.
+
+The paper's tile graph is a modelling choice: finer tiles localise the
+area constraints (channel capacity fragments across more regions),
+coarser tiles pool capacity but blur where flip-flops really land.
+This bench sweeps ``Technology.tile_size`` on one circuit and reports
+grid size and violation counts. Wire-delay constants are unchanged, so
+timing is comparable across rows.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import plan_interconnect
+from repro.experiments import get_circuit
+from repro.tech import DEFAULT_TECH
+
+TILE_SIZES = [3.0, 4.0, 6.0]
+
+
+@pytest.fixture(scope="module")
+def tile_results():
+    results = {}
+    yield results
+    print("\n\n=== tile-size ablation (circuit s641) ===")
+    print(f"{'tile mm':>8} {'grid':>9} {'MA N_FOA':>9} {'LAC N_FOA':>10}")
+    for size in sorted(results):
+        grid, ma, lac = results[size]
+        print(f"{size:>8.1f} {grid:>9} {ma:>9} {lac:>10}")
+
+
+@pytest.mark.parametrize("tile_size", TILE_SIZES)
+def test_tile_size(benchmark, tile_size, tile_results):
+    spec = get_circuit("s641")
+    tech = dataclasses.replace(DEFAULT_TECH, tile_size=tile_size)
+    outcome = benchmark.pedantic(
+        lambda: plan_interconnect(
+            spec.build(),
+            seed=spec.seed,
+            whitespace=spec.whitespace,
+            tech=tech,
+            max_iterations=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    it = outcome.first
+    grid = f"{it.grid.n_cols}x{it.grid.n_rows}"
+    tile_results[tile_size] = (
+        grid,
+        it.min_area.report.n_foa,
+        it.lac.report.n_foa,
+    )
+    assert it.lac.report.n_foa <= it.min_area.report.n_foa

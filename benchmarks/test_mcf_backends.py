@@ -1,0 +1,43 @@
+"""Bench: min-cost-flow backends for the retiming dual.
+
+The retiming LP can be solved by networkx's network simplex or the
+in-house successive-shortest-path solver (``repro.retime.mcf``). Both
+must return the same optimum (cross-checked here on a real benchmark
+instance); the bench reports their run times so users can pick.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.fixtures import prepared_instance
+from repro.retime import min_area_retiming
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return prepared_instance("s386")
+
+
+@pytest.mark.parametrize("backend", ["networkx", "native"])
+def test_backend(benchmark, instance, backend, backend_results):
+    result = benchmark.pedantic(
+        lambda: min_area_retiming(
+            instance.expanded.graph,
+            instance.t_clk,
+            system=instance.system,
+            backend=backend,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    backend_results[backend] = result.total_ffs
+
+
+@pytest.fixture(scope="module")
+def backend_results():
+    results = {}
+    yield results
+    if len(results) == 2:
+        print(f"\nbackend optima: {results}")
+        assert results["networkx"] == results["native"]

@@ -1,0 +1,33 @@
+"""Bench: regenerate the paper's Table 1 (the only data table).
+
+One bench per circuit; the assembled table (all columns the paper
+reports, plus the post-expansion ``N_FOA`` in parentheses) prints at
+session end. Shape assertions mirror the paper's claims; absolute
+numbers differ (synthetic circuits, different technology constants —
+see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import TABLE1_CIRCUITS, Table1Row, run_circuit
+
+
+@pytest.mark.parametrize("spec", TABLE1_CIRCUITS, ids=lambda s: s.name)
+def test_table1_row(benchmark, spec, table1_rows):
+    row: Table1Row = benchmark.pedantic(
+        lambda: run_circuit(spec), rounds=1, iterations=1
+    )
+    table1_rows.append(row)
+
+    # Paper claims, per row:
+    # 1. LAC never leaves more violating flip-flops than min-area.
+    assert row.lac_n_foa <= row.ma_n_foa
+    # 2. The flip-flop premium LAC pays is small (paper: "a possible
+    #    slight increase"): within 15% of the min-area count.
+    assert row.lac_n_f <= 1.15 * row.ma_n_f
+    # 3. Only a few weighted min-area solves are needed.
+    assert row.n_wr <= 30
+    # 4. LAC run time is the same order as min-area (allow a generous
+    #    constant; N_wr solves reuse one constraint system).
+    if row.ma_seconds > 0.05:
+        assert row.lac_seconds <= 40 * row.ma_seconds

@@ -1,0 +1,37 @@
+"""Generate a complete Markdown planning report for a circuit.
+
+Runs the flow on a benchmark circuit and writes the kind of artefact a
+planning tool hands back to the floorplanning team: periods, Table-1
+metrics, per-region flip-flop accounting and a timing summary.
+
+Usage::
+
+    python examples/full_report.py [circuit] [output.md]
+"""
+
+import sys
+
+from repro.core import plan_interconnect, write_flow_report
+from repro.experiments import get_circuit
+from repro.netlist import circuit_stats
+
+
+def main(argv) -> int:
+    name = argv[1] if len(argv) > 1 else "s386"
+    out_path = argv[2] if len(argv) > 2 else f"{name}_report.md"
+
+    spec = get_circuit(name)
+    graph = spec.build()
+    print(circuit_stats(graph).format())
+    print("\nplanning...")
+    outcome = plan_interconnect(
+        graph, seed=spec.seed, whitespace=spec.whitespace, max_iterations=2
+    )
+    write_flow_report(outcome, out_path)
+    print(f"report written to {out_path}")
+    print(outcome.report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,34 @@
+"""Quickstart: plan interconnect for the ISCAS89 s27 circuit.
+
+Runs the complete flow of the paper — partitioning, sequence-pair
+floorplanning, tile-grid construction, global routing, repeater
+planning, interconnect-unit expansion, and LAC-retiming with the
+min-area baseline — and prints the summary report.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import plan_interconnect
+from repro.netlist import s27_graph
+
+
+def main() -> None:
+    circuit = s27_graph()
+    print(f"circuit: {circuit.name}, {circuit.num_units} units, "
+          f"{circuit.total_flip_flops()} flip-flops\n")
+
+    outcome = plan_interconnect(circuit, seed=1, max_iterations=2)
+    print(outcome.report())
+
+    first = outcome.first
+    print(f"\nexpanded graph: {first.expanded.graph.num_units} units "
+          f"({first.expanded.interconnect_unit_count()} interconnect units)")
+    print(f"chip: {first.floorplan.chip_width:.0f} x "
+          f"{first.floorplan.chip_height:.0f} mm, "
+          f"{first.grid.n_cols} x {first.grid.n_rows} tiles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — Interconnect planning with local area constrained retiming.
+
+A from-scratch reproduction of Lu & Koh, "Interconnect Planning with
+Local Area Constrained Retiming" (DATE 2003). See DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import plan_interconnect
+    from repro.netlist import s27_graph
+
+    outcome = plan_interconnect(s27_graph(), seed=1)
+    print(outcome.report())
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    BenchParseError,
+    FloorplanError,
+    InfeasiblePeriodError,
+    NetlistError,
+    PlanningError,
+    ReproError,
+    RetimingError,
+    RoutingError,
+)
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "BenchParseError",
+    "RetimingError",
+    "InfeasiblePeriodError",
+    "FloorplanError",
+    "RoutingError",
+    "PlanningError",
+    "__version__",
+]

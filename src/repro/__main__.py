@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan <circuit>``   — run the full interconnect-planning flow on a
+  Table-1 benchmark circuit (or ``s27``) and print the report;
+* ``table1 [names..]`` — regenerate the paper's Table 1 (all circuits
+  or a subset);
+* ``verify``           — retime s27 at minimum period and verify
+  behavioural equivalence by gate-level simulation;
+* ``circuits``         — list the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_plan(args) -> int:
+    from repro.core import plan_interconnect
+    from repro.experiments import get_circuit
+    from repro.netlist import s27_graph
+
+    if args.circuit == "s27":
+        graph = s27_graph()
+        seed, whitespace = 1, 0.4
+    else:
+        spec = get_circuit(args.circuit)
+        graph = spec.build()
+        seed, whitespace = spec.seed, spec.whitespace
+    outcome = plan_interconnect(
+        graph,
+        seed=seed,
+        whitespace=whitespace,
+        max_iterations=args.iterations,
+    )
+    print(outcome.report())
+    return 0 if outcome.converged else 1
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.table1 import main as table1_main
+
+    return table1_main(args.names)
+
+
+def _cmd_verify(_args) -> int:
+    from repro.netlist import (
+        LogicSimulator,
+        equivalent_streams,
+        random_input_stream,
+        retime_bench,
+        s27_graph,
+    )
+    from repro.netlist.bench import parse_bench_text
+    from repro.netlist.s27 import S27_BENCH
+    from repro.retime import min_period_retiming
+
+    netlist = parse_bench_text(S27_BENCH, name="s27")
+    _t, result = min_period_retiming(s27_graph())
+    labels = {net: result.labels.get(net, 0) for net in netlist.gates}
+    transformed = retime_bench(netlist, labels)
+    stream = random_input_stream(netlist, 64, seed=5)
+    ok = equivalent_streams(
+        LogicSimulator(netlist).run(stream),
+        LogicSimulator(transformed).run(stream),
+        outputs_a=netlist.outputs,
+        outputs_b=transformed.outputs,
+        require_settled=False,
+    )
+    print("EQUIVALENT" if ok else "NOT EQUIVALENT")
+    return 0 if ok else 1
+
+
+def _cmd_circuits(_args) -> int:
+    from repro.experiments import TABLE1_CIRCUITS
+
+    for spec in TABLE1_CIRCUITS:
+        print(
+            f"{spec.name:>8}: {spec.n_units} units, >= {spec.n_ffs} FFs, "
+            f"whitespace {spec.whitespace} "
+            f"(original: {spec.real_gates} gates / {spec.real_ffs} FFs)"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interconnect planning with LAC-retiming (Lu & Koh, DATE 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="plan one benchmark circuit")
+    p_plan.add_argument("circuit", help="circuit name (s27 or a Table-1 name)")
+    p_plan.add_argument("--iterations", type=int, default=2)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1")
+    p_table.add_argument("names", nargs="*", help="subset of circuit names")
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_verify = sub.add_parser("verify", help="simulate retimed s27 vs original")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_list = sub.add_parser("circuits", help="list the benchmark suite")
+    p_list.set_defaults(func=_cmd_circuits)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Area-constraint accounting: AC(t), N_FOA, N_F, N_FN.
+
+These are the quantities Table 1 of the paper reports:
+
+* ``N_F`` — total number of flip-flops after retiming;
+* ``N_FN`` — flip-flops that ended up *inside interconnects* (edges
+  whose fanin is an interconnect unit);
+* ``AC(t)`` — flip-flop area consumed in tile/region ``t`` (flip-flops
+  are charged to the region of the edge's fanin unit, Eqn. (3));
+* ``N_FOA`` — total count of flip-flops exceeding their region's
+  remaining capacity (after repeater insertion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from repro.netlist.graph import INTERCONNECT, CircuitGraph
+from repro.retime.expand import IO_REGION
+from repro.tech.params import DEFAULT_TECH, Technology
+from repro.tiles.grid import TileGrid
+
+
+@dataclasses.dataclass
+class AreaReport:
+    """Per-region flip-flop accounting for one retimed circuit."""
+
+    ff_count: Dict[str, int]
+    violations: Dict[str, int]
+    n_foa: int
+    n_f: int
+    n_fn: int
+
+    def violating_regions(self):
+        return [t for t, v in self.violations.items() if v > 0]
+
+    def consumption_ratio(self, grid: TileGrid, tech: Technology) -> Dict[str, float]:
+        """``AC(t) / C(t)`` per region, the paper's reweighting signal.
+
+        Regions with no remaining capacity but non-zero consumption get
+        a large finite ratio so reweighting still pushes away from
+        them.
+        """
+        ratios: Dict[str, float] = {}
+        for region, count in self.ff_count.items():
+            if region == IO_REGION:
+                continue
+            consumption = count * tech.ff_area
+            cap = grid.remaining(region)
+            if cap <= 1e-9:
+                ratios[region] = 10.0 if consumption > 0 else 0.0
+            else:
+                ratios[region] = consumption / cap
+        return ratios
+
+
+def area_report(
+    graph: CircuitGraph,
+    unit_region: Mapping[str, str],
+    grid: TileGrid,
+    tech: Technology = DEFAULT_TECH,
+) -> AreaReport:
+    """Account the flip-flops of (possibly retimed) ``graph`` to regions.
+
+    Capacity per region is what remains after repeater insertion
+    (``grid.used`` holds the repeater area), matching the paper's
+    "remaining capacity after repeater insertion".
+    """
+    ff_count: Dict[str, int] = {}
+    n_f = 0
+    n_fn = 0
+    for (u, _v, _k), w in graph.connections():
+        if w == 0:
+            continue
+        n_f += w
+        if graph.kind(u) == INTERCONNECT:
+            n_fn += w
+        region = unit_region.get(u, IO_REGION)
+        ff_count[region] = ff_count.get(region, 0) + w
+
+    violations: Dict[str, int] = {}
+    n_foa = 0
+    for region, count in ff_count.items():
+        if region == IO_REGION:
+            continue
+        fits = int(max(0.0, grid.remaining(region)) // tech.ff_area)
+        over = max(0, count - fits)
+        if over:
+            violations[region] = over
+            n_foa += over
+    return AreaReport(
+        ff_count=ff_count,
+        violations=violations,
+        n_foa=n_foa,
+        n_f=n_f,
+        n_fn=n_fn,
+    )

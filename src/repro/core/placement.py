@@ -1,0 +1,86 @@
+"""Explicit flip-flop placement after retiming.
+
+Retiming only assigns flip-flops to *edges*; this module realises them
+as placed instances. Following the paper, a flip-flop on edge
+``(u, v)`` is placed in the same tile as its fanin unit ``u`` — at
+``u``'s pin cell for logic units, at the segment's driving cell for
+interconnect units. Host-edge flip-flops become boundary (I/O)
+registers and are not placed on the fabric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Mapping, Optional, Tuple
+
+from repro.floorplan.plan import Floorplan
+from repro.netlist.graph import CircuitGraph
+from repro.retime.expand import IO_REGION
+from repro.route.router import pin_cell
+from repro.tech.params import DEFAULT_TECH, Technology
+from repro.tiles.grid import Cell, TileGrid
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacedFlipFlop:
+    """One placed flip-flop instance."""
+
+    edge: Tuple[str, str, int]
+    index: int  # 0-based among the flip-flops of this edge
+    cell: Optional[Cell]  # None for boundary (host) registers
+    region: str
+
+
+def place_flip_flops(
+    graph: CircuitGraph,
+    unit_region: Mapping[str, str],
+    grid: TileGrid,
+    plan: Floorplan,
+    jitter_seed: int = 0,
+    segment_cell: Optional[Mapping[str, Cell]] = None,
+) -> List[PlacedFlipFlop]:
+    """Materialise every flip-flop of (retimed) ``graph``.
+
+    ``segment_cell`` maps interconnect-unit names to their driving
+    cell; when omitted, interconnect flip-flops are reported with their
+    region only (``cell=None``).
+    """
+    hosts = set(graph.host_units())
+    placed: List[PlacedFlipFlop] = []
+    for (u, v, key), w in graph.connections():
+        if w == 0:
+            continue
+        region = unit_region.get(u, IO_REGION)
+        cell: Optional[Cell]
+        if u in hosts:
+            cell = None
+        elif segment_cell is not None and u in segment_cell:
+            cell = segment_cell[u]
+        elif plan.placement_of_unit(u) is not None:
+            cell = pin_cell(grid, plan, u, jitter_seed)
+        else:
+            cell = None
+        for i in range(w):
+            placed.append(
+                PlacedFlipFlop(edge=(u, v, key), index=i, cell=cell, region=region)
+            )
+    return placed
+
+
+def commit_flip_flop_area(
+    placed: List[PlacedFlipFlop],
+    grid: TileGrid,
+    tech: Technology = DEFAULT_TECH,
+) -> int:
+    """Reserve grid capacity for placed flip-flops.
+
+    Returns the number of flip-flops that did not fit (which equals
+    ``N_FOA`` when placement follows the fanin-tile convention).
+    """
+    misfits = 0
+    for ff in placed:
+        if ff.region == IO_REGION:
+            continue
+        if not grid.reserve(ff.region, tech.ff_area):
+            misfits += 1
+    return misfits

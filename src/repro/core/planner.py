@@ -1,0 +1,350 @@
+"""The end-to-end interconnect planner (Fig. 1 of the paper).
+
+One *interconnect planning* iteration runs, inside physical planning:
+
+1. partition the functional units into circuit blocks;
+2. sequence-pair floorplanning;
+3. tile-grid construction;
+4. global routing of inter-block connections;
+5. repeater planning under ``L_max``;
+6. interconnect-unit expansion;
+7. ``T_init`` (current period), min-period retiming (``T_min``),
+   target ``T_clk = T_min + f * (T_init - T_min)`` with ``f = 0.2``;
+8. retiming + flip-flop placement: classic min-area retiming (the
+   paper's baseline) *and* LAC-retiming, both at ``T_clk``.
+
+If LAC-retiming leaves area violations, a second planning iteration
+expands the congested soft blocks and repeats steps 2–8 with the same
+``T_clk`` (which, as the paper observes for s1269, can become
+infeasible after a drastic floorplan change — that outcome is captured
+rather than raised).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.lac import LACResult, lac_retiming
+from repro.core.metrics import AreaReport, area_report
+from repro.errors import InfeasiblePeriodError, PlanningError
+from repro.floorplan.plan import Floorplan, build_floorplan, expand_floorplan
+from repro.netlist.graph import CircuitGraph
+from repro.partition.multiway import Partition, default_block_count, partition_graph
+from repro.repeater.insertion import buffer_routed_nets
+from repro.retime.constraints import build_constraint_system
+from repro.retime.expand import ExpandedCircuit, expand_interconnects
+from repro.retime.minarea import RetimingResult, min_area_retiming
+from repro.retime.minperiod import clock_period, min_period_retiming
+from repro.retime.wd import WDMatrices, wd_matrices
+from repro.route.router import GlobalRouter, nets_from_graph
+from repro.tech.params import DEFAULT_TECH, Technology
+from repro.tiles.grid import SOFT, TileGrid, build_tile_grid
+
+
+@dataclasses.dataclass
+class PlannerConfig:
+    """Knobs for the planning flow; defaults follow the paper."""
+
+    seed: int = 0
+    n_blocks: Optional[int] = None
+    whitespace: float = 0.50
+    target_fraction: float = 0.2  # T_clk position between T_min and T_init
+    alpha: float = 0.2
+    n_max: int = 5
+    max_rounds: int = 30
+    prune: bool = True
+    floorplan_iterations: int = 2000
+    rrr_passes: int = 2
+    max_units_per_connection: Optional[int] = 4
+    hard_blocks: Tuple[int, ...] = ()
+    expansion_factor: float = 1.4
+    run_baseline: bool = True
+    floorplan_backend: str = "sequence_pair"
+    repeater_backend: str = "path"  # "path" (per-connection DP) | "tree"
+    tech: Technology = DEFAULT_TECH
+
+
+@dataclasses.dataclass
+class TimedRetiming:
+    """A retiming outcome plus its area report and wall-clock time."""
+
+    result: RetimingResult
+    report: AreaReport
+    seconds: float
+
+
+@dataclasses.dataclass
+class PlanningIteration:
+    """Everything produced by one interconnect-planning iteration."""
+
+    index: int
+    partition: Partition
+    floorplan: Floorplan
+    grid: TileGrid
+    expanded: ExpandedCircuit
+    t_init: float
+    t_min: float
+    t_clk: float
+    min_area: Optional[TimedRetiming]
+    lac: Optional[LACResult]
+    lac_seconds: float
+    infeasible: bool = False
+
+    @property
+    def n_foa_min_area(self) -> Optional[int]:
+        return self.min_area.report.n_foa if self.min_area else None
+
+    @property
+    def n_foa_lac(self) -> Optional[int]:
+        return self.lac.report.n_foa if self.lac else None
+
+
+@dataclasses.dataclass
+class PlanningOutcome:
+    """Result of :func:`plan_interconnect` across planning iterations."""
+
+    circuit: str
+    config: PlannerConfig
+    iterations: List[PlanningIteration]
+
+    @property
+    def first(self) -> PlanningIteration:
+        return self.iterations[0]
+
+    @property
+    def final(self) -> PlanningIteration:
+        return self.iterations[-1]
+
+    @property
+    def converged(self) -> bool:
+        """True when the final iteration has zero area violations."""
+        last = self.final
+        return (not last.infeasible) and last.lac is not None and last.lac.n_foa == 0
+
+    def foa_decrease(self) -> Optional[float]:
+        """Fractional N_FOA decrease of LAC vs min-area (iteration 1)."""
+        it = self.first
+        if it.min_area is None or it.lac is None:
+            return None
+        base = it.min_area.report.n_foa
+        if base == 0:
+            return 0.0
+        return 1.0 - it.lac.report.n_foa / base
+
+    def report(self) -> str:
+        """Human-readable summary, mirroring a Table 1 row."""
+        lines = [f"interconnect planning: {self.circuit}"]
+        for it in self.iterations:
+            lines.append(
+                f"  iteration {it.index}: T_init={it.t_init:.2f} "
+                f"T_min={it.t_min:.2f} T_clk={it.t_clk:.2f}"
+            )
+            if it.infeasible:
+                lines.append("    T_clk infeasible after floorplan expansion")
+                continue
+            if it.min_area:
+                r = it.min_area.report
+                lines.append(
+                    f"    min-area: N_FOA={r.n_foa} N_F={r.n_f} N_FN={r.n_fn} "
+                    f"({it.min_area.seconds:.2f}s)"
+                )
+            if it.lac:
+                r = it.lac.report
+                lines.append(
+                    f"    LAC     : N_FOA={r.n_foa} N_F={r.n_f} N_FN={r.n_fn} "
+                    f"N_wr={it.lac.n_wr} ({it.lac_seconds:.2f}s)"
+                )
+        dec = self.foa_decrease()
+        if dec is not None:
+            lines.append(f"  N_FOA decrease (LAC vs min-area): {100 * dec:.0f}%")
+        lines.append(f"  converged: {self.converged}")
+        return "\n".join(lines)
+
+
+def _run_iteration(
+    graph: CircuitGraph,
+    partition: Partition,
+    plan: Floorplan,
+    config: PlannerConfig,
+    index: int,
+    t_clk: Optional[float] = None,
+) -> PlanningIteration:
+    """Steps 3-8 on a given floorplan. ``t_clk`` fixes the target period
+    (used by the second iteration); otherwise it is derived."""
+    grid = build_tile_grid(plan, config.tech)
+    nets = nets_from_graph(graph, grid, plan, jitter_seed=config.seed)
+    router = GlobalRouter(grid)
+    routed = router.route(nets, rrr_passes=config.rrr_passes)
+    if config.repeater_backend == "tree":
+        from repro.repeater.vanginneken import buffer_routed_nets_tree
+
+        buffered = buffer_routed_nets_tree(routed, grid, config.tech)
+    elif config.repeater_backend == "path":
+        buffered = buffer_routed_nets(routed, grid, config.tech)
+    else:
+        raise PlanningError(
+            f"unknown repeater backend {config.repeater_backend!r}"
+        )
+    expanded = expand_interconnects(
+        graph,
+        buffered,
+        grid,
+        plan,
+        jitter_seed=config.seed,
+        max_units_per_connection=config.max_units_per_connection,
+    )
+
+    wd = wd_matrices(expanded.graph)
+    t_init = clock_period(expanded.graph, wd)
+    t_min, _ = min_period_retiming(expanded.graph, wd)
+    if t_clk is None:
+        t_clk = t_min + config.target_fraction * (t_init - t_min)
+
+    min_area_timed: Optional[TimedRetiming] = None
+    lac_result: Optional[LACResult] = None
+    lac_seconds = 0.0
+    infeasible = False
+    try:
+        # One constraint system serves both retimings: they target the
+        # same period, and constraint generation dominates run time
+        # (the property the paper leans on in Section 4.2).
+        system = build_constraint_system(
+            expanded.graph, wd, t_clk, prune=config.prune
+        )
+        if config.run_baseline:
+            start = time.perf_counter()
+            base = min_area_retiming(expanded.graph, t_clk, wd=wd, system=system)
+            elapsed = time.perf_counter() - start
+            base_report = area_report(
+                base.graph, expanded.unit_region, grid, config.tech
+            )
+            min_area_timed = TimedRetiming(base, base_report, elapsed)
+
+        start = time.perf_counter()
+        lac_result = lac_retiming(
+            expanded.graph,
+            expanded.unit_region,
+            grid,
+            t_clk,
+            tech=config.tech,
+            alpha=config.alpha,
+            n_max=config.n_max,
+            max_rounds=config.max_rounds,
+            wd=wd,
+            system=system,
+        )
+        lac_seconds = time.perf_counter() - start
+    except InfeasiblePeriodError:
+        infeasible = True
+
+    return PlanningIteration(
+        index=index,
+        partition=partition,
+        floorplan=plan,
+        grid=grid,
+        expanded=expanded,
+        t_init=t_init,
+        t_min=t_min,
+        t_clk=t_clk,
+        min_area=min_area_timed,
+        lac=lac_result,
+        lac_seconds=lac_seconds,
+        infeasible=infeasible,
+    )
+
+
+def _congested_blocks(iteration: PlanningIteration) -> List[str]:
+    """Soft blocks to expand before the next planning iteration.
+
+    Violations in soft-block regions name the block directly;
+    violations in channel or hard-block tiles expand the nearest soft
+    block (extra block slack relieves the surrounding channels too).
+    """
+    grid = iteration.grid
+    plan = iteration.floorplan
+    blocks = set()
+    if iteration.lac is None:
+        return []
+    for region in iteration.lac.report.violating_regions():
+        if grid.kind.get(region) == SOFT:
+            blocks.add(region[len("blk_") :])
+        else:
+            cells = [c for c, t in grid.region_of_cell.items() if t == region]
+            if not cells:
+                continue
+            cx, cy = grid.center_of_cell(cells[0])
+            nearest = min(
+                plan.placements.values(),
+                key=lambda p: abs(p.center[0] - cx) + abs(p.center[1] - cy),
+            )
+            if not plan.blocks[nearest.name].hard:
+                blocks.add(nearest.name)
+    return sorted(blocks)
+
+
+def plan_interconnect(
+    graph: CircuitGraph,
+    config: Optional[PlannerConfig] = None,
+    max_iterations: int = 2,
+    **overrides,
+) -> PlanningOutcome:
+    """Run the full interconnect-planning flow on a circuit.
+
+    Keyword overrides are applied on top of ``config`` (or the default
+    config), e.g. ``plan_interconnect(g, seed=3, alpha=0.3)``.
+    """
+    if config is None:
+        config = PlannerConfig()
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    graph.validate()
+
+    hosts = set(graph.host_units())
+    n_units = graph.num_units - len(hosts)
+    n_blocks = config.n_blocks or default_block_count(n_units)
+    partition = partition_graph(graph, n_blocks, seed=config.seed)
+    plan = build_floorplan(
+        graph,
+        partition,
+        seed=config.seed,
+        hard_blocks=config.hard_blocks,
+        whitespace=config.whitespace,
+        iterations=config.floorplan_iterations,
+        backend=config.floorplan_backend,
+    )
+
+    iterations: List[PlanningIteration] = []
+    first = _run_iteration(graph, partition, plan, config, index=1)
+    iterations.append(first)
+
+    current = first
+    while (
+        len(iterations) < max_iterations
+        and not current.infeasible
+        and current.lac is not None
+        and current.lac.n_foa > 0
+    ):
+        congested = _congested_blocks(current)
+        if not congested:
+            break
+        plan = expand_floorplan(
+            current.floorplan,
+            graph,
+            congested,
+            factor=config.expansion_factor,
+            seed=config.seed,
+            iterations=config.floorplan_iterations,
+        )
+        current = _run_iteration(
+            graph,
+            partition,
+            plan,
+            config,
+            index=len(iterations) + 1,
+            t_clk=first.t_clk,
+        )
+        iterations.append(current)
+
+    return PlanningOutcome(circuit=graph.name, config=config, iterations=iterations)

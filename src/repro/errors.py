@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class at flow boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Malformed or inconsistent netlist (bad graph, parse failure...)."""
+
+
+class BenchParseError(NetlistError):
+    """An ISCAS89 ``.bench`` file could not be parsed."""
+
+
+class RetimingError(ReproError):
+    """A retiming problem is malformed or has no solution."""
+
+
+class InfeasibleConstraintsError(RetimingError):
+    """A difference-constraint system has no solution (negative cycle)."""
+
+
+class UnboundedObjectiveError(RetimingError):
+    """The retiming LP objective is unbounded on the feasible region."""
+
+
+class InfeasiblePeriodError(RetimingError):
+    """The requested clock period admits no legal retiming."""
+
+    def __init__(self, period, message=None):
+        self.period = period
+        super().__init__(message or f"no retiming achieves clock period {period}")
+
+
+class FloorplanError(ReproError):
+    """Floorplanning failed (e.g. impossible block shapes)."""
+
+
+class RoutingError(ReproError):
+    """Global routing failed (e.g. unreachable pins)."""
+
+
+class PlanningError(ReproError):
+    """The end-to-end interconnect planning flow failed."""

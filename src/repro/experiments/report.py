@@ -1,0 +1,71 @@
+"""Reporting helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a simple aligned ASCII table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def tile_graph_ascii(grid, plan) -> str:
+    """ASCII rendering of a tile graph (the paper's Fig. 2).
+
+    Soft blocks print as letters (merged regions), hard blocks as
+    ``#``, channel/dead cells as ``.``.
+    """
+    from repro.tiles.grid import CHANNEL, HARD
+
+    letters = {}
+    for i, name in enumerate(sorted(plan.blocks)):
+        letters[f"blk_{name}"] = chr(ord("A") + i % 26)
+    lines: List[str] = []
+    for r in range(grid.n_rows - 1, -1, -1):
+        row = []
+        for c in range(grid.n_cols):
+            region = grid.region_of_cell[(c, r)]
+            kind = grid.kind[region]
+            if kind == CHANNEL:
+                row.append(".")
+            elif kind == HARD:
+                row.append("#")
+            else:
+                row.append(letters.get(region, "?"))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def congestion_ascii(router, grid) -> str:
+    """ASCII heat map of routing congestion (usage / track capacity).
+
+    Digits 0-9 show utilisation deciles; ``*`` marks overflowed cells,
+    ``.`` untouched ones.
+    """
+    lines: List[str] = []
+    for r in range(grid.n_rows - 1, -1, -1):
+        row = []
+        for c in range(grid.n_cols):
+            use = router.usage.get((c, r), 0)
+            cap = router.track_capacity((c, r))
+            if use == 0:
+                row.append(".")
+            elif use > cap:
+                row.append("*")
+            else:
+                row.append(str(min(9, int(10 * use / cap))))
+        lines.append("".join(row))
+    return "\n".join(lines)

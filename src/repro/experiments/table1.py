@@ -1,0 +1,169 @@
+"""Regeneration harness for the paper's Table 1.
+
+For every benchmark circuit this runs the full interconnect-planning
+flow twice over (min-area baseline and LAC-retiming share one run of
+the planner) and collects the columns the paper reports:
+
+``T_clk``, ``T_init``, min-area {``N_FOA``, ``N_F``, ``N_FN``,
+``T_exec``}, LAC {``N_FOA`` (with the post-expansion value in
+parentheses when a second planning iteration ran), ``N_F``, ``N_FN``,
+``N_wr``, ``T_exec``} and the percentage decrease in ``N_FOA``.
+
+Absolute values differ from the paper (synthetic circuits, different
+technology constants — see DESIGN.md); the claims under test are the
+*shape* ones: a large average ``N_FOA`` decrease, a small ``N_F``
+premium, ``N_wr`` in the single digits, LAC run time within a small
+factor of min-area, and convergence after at most two planning
+iterations for all but the hardest circuit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.planner import PlanningOutcome, plan_interconnect
+from repro.experiments.circuits import TABLE1_CIRCUITS, CircuitSpec
+
+
+@dataclasses.dataclass
+class Table1Row:
+    """One circuit's row, mirroring the paper's columns."""
+
+    circuit: str
+    t_clk: float
+    t_init: float
+    ma_n_foa: int
+    ma_n_f: int
+    ma_n_fn: int
+    ma_seconds: float
+    lac_n_foa: int
+    lac_n_foa_iter2: Optional[int]  # None: no 2nd iteration ran
+    lac_infeasible_iter2: bool
+    lac_n_f: int
+    lac_n_fn: int
+    n_wr: int
+    lac_seconds: float
+
+    @property
+    def decrease(self) -> Optional[float]:
+        """Fractional N_FOA decrease, or None when min-area had none
+        (the paper prints N/A for that case)."""
+        if self.ma_n_foa == 0:
+            return None
+        return 1.0 - self.lac_n_foa / self.ma_n_foa
+
+    @classmethod
+    def from_outcome(cls, outcome: PlanningOutcome) -> "Table1Row":
+        first = outcome.first
+        second = outcome.iterations[1] if len(outcome.iterations) > 1 else None
+        ma = first.min_area
+        lac = first.lac
+        if ma is None or lac is None:
+            raise ValueError("outcome lacks baseline or LAC results")
+        return cls(
+            circuit=outcome.circuit,
+            t_clk=first.t_clk,
+            t_init=first.t_init,
+            ma_n_foa=ma.report.n_foa,
+            ma_n_f=ma.report.n_f,
+            ma_n_fn=ma.report.n_fn,
+            ma_seconds=ma.seconds,
+            lac_n_foa=lac.report.n_foa,
+            lac_n_foa_iter2=(
+                None
+                if second is None
+                else (second.lac.report.n_foa if second.lac else None)
+            ),
+            lac_infeasible_iter2=bool(second and second.infeasible),
+            lac_n_f=lac.report.n_f,
+            lac_n_fn=lac.report.n_fn,
+            n_wr=lac.n_wr,
+            lac_seconds=first.lac_seconds,
+        )
+
+
+def run_circuit(spec: CircuitSpec, max_iterations: int = 2) -> Table1Row:
+    """Run the planning flow for one benchmark circuit."""
+    outcome = plan_interconnect(
+        spec.build(),
+        seed=spec.seed,
+        max_iterations=max_iterations,
+        whitespace=spec.whitespace,
+        n_blocks=spec.n_blocks,
+    )
+    return Table1Row.from_outcome(outcome)
+
+
+def run_table1(
+    circuits: Optional[Sequence[CircuitSpec]] = None,
+    max_iterations: int = 2,
+    verbose: bool = False,
+) -> List[Table1Row]:
+    """Run the whole suite; returns one row per circuit."""
+    rows = []
+    for spec in circuits if circuits is not None else TABLE1_CIRCUITS:
+        row = run_circuit(spec, max_iterations=max_iterations)
+        rows.append(row)
+        if verbose:
+            print(format_rows([row], header=len(rows) == 1))
+    return rows
+
+
+def average_decrease(rows: Sequence[Table1Row]) -> Optional[float]:
+    """Mean fractional decrease over rows where it is defined."""
+    vals = [r.decrease for r in rows if r.decrease is not None]
+    return sum(vals) / len(vals) if vals else None
+
+
+def format_rows(rows: Sequence[Table1Row], header: bool = True) -> str:
+    """Render rows in the paper's layout."""
+    lines = []
+    if header:
+        lines.append(
+            f"{'circuit':>8} {'T_clk':>6} {'T_init':>7} | "
+            f"{'N_FOA':>5} {'N_F':>4} {'N_FN':>4} {'T(s)':>6} | "
+            f"{'N_FOA':>9} {'N_F':>4} {'N_FN':>4} {'N_wr':>4} {'T(s)':>6} | "
+            f"{'Decr.':>6}"
+        )
+        lines.append(
+            f"{'':8} {'':6} {'':7} | {'-- min-area retiming --':^28} | "
+            f"{'----- LAC-retiming -----':^32} |"
+        )
+    for r in rows:
+        if r.lac_n_foa_iter2 is not None:
+            foa = f"{r.lac_n_foa}({r.lac_n_foa_iter2})"
+        elif r.lac_infeasible_iter2:
+            foa = f"{r.lac_n_foa}(inf)"
+        else:
+            foa = str(r.lac_n_foa)
+        dec = "N/A" if r.decrease is None else f"{100 * r.decrease:.0f}%"
+        lines.append(
+            f"{r.circuit:>8} {r.t_clk:>6.2f} {r.t_init:>7.2f} | "
+            f"{r.ma_n_foa:>5} {r.ma_n_f:>4} {r.ma_n_fn:>4} {r.ma_seconds:>6.2f} | "
+            f"{foa:>9} {r.lac_n_f:>4} {r.lac_n_fn:>4} {r.n_wr:>4} "
+            f"{r.lac_seconds:>6.2f} | {dec:>6}"
+        )
+    if header and len(rows) > 1:
+        avg = average_decrease(rows)
+        if avg is not None:
+            lines.append(f"{'Average':>8} {'':6} {'':7} | {'':28} | {'':32} | {100 * avg:>5.0f}%")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro.experiments.table1 [circuit ...]``."""
+    import sys
+
+    from repro.experiments.circuits import TABLE1_CIRCUITS, get_circuit
+
+    argv = sys.argv[1:] if argv is None else argv
+    specs = [get_circuit(name) for name in argv] if argv else TABLE1_CIRCUITS
+    rows = run_table1(specs, verbose=True)
+    print()
+    print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Sequence-pair floorplanning of circuit blocks."""
+
+from repro.floorplan.annealer import SequencePairAnnealer
+from repro.floorplan.blocks import Block, Placement
+from repro.floorplan.plan import (
+    Floorplan,
+    blocks_from_partition,
+    build_floorplan,
+    expand_floorplan,
+    net_pairs_from_graph,
+)
+from repro.floorplan.sequence_pair import overlaps, pack
+from repro.floorplan.slicing import SlicingFloorplanner
+
+__all__ = [
+    "Block",
+    "Placement",
+    "pack",
+    "overlaps",
+    "SequencePairAnnealer",
+    "SlicingFloorplanner",
+    "Floorplan",
+    "blocks_from_partition",
+    "net_pairs_from_graph",
+    "build_floorplan",
+    "expand_floorplan",
+]

@@ -1,0 +1,127 @@
+"""Simulated-annealing sequence-pair floorplanner.
+
+Cost blends chip area with half-perimeter wirelength of the inter-block
+connectivity, the standard objective for interconnect-driven
+floorplanning. Moves: swap a random pair in one sequence, swap in both
+sequences, or reshape a random soft block's aspect ratio.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.floorplan.blocks import Block, Placement
+from repro.floorplan.sequence_pair import pack
+
+_ASPECTS = (0.4, 0.6, 0.8, 1.0, 1.25, 1.65, 2.5)
+
+
+class SequencePairAnnealer:
+    """Anneal a sequence pair for a set of blocks.
+
+    Args:
+        blocks: Blocks to place.
+        net_pairs: Inter-block connectivity as ``(block_a, block_b,
+            multiplicity)`` triples, used for the wirelength term.
+        seed: RNG seed.
+        wirelength_weight: Relative weight of wirelength vs chip area
+            in the cost (both are normalised by their initial values).
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[Block],
+        net_pairs: Sequence[Tuple[str, str, int]] = (),
+        seed: int = 0,
+        wirelength_weight: float = 0.3,
+    ):
+        self.blocks: Dict[str, Block] = {b.name: b for b in blocks}
+        self.net_pairs = [
+            (a, b, m) for a, b, m in net_pairs if a in self.blocks and b in self.blocks
+        ]
+        self.rng = random.Random(seed)
+        self.wirelength_weight = wirelength_weight
+
+    # ------------------------------------------------------------------
+    def _wirelength(self, placements: List[Placement]) -> float:
+        centers = {p.name: p.center for p in placements}
+        total = 0.0
+        for a, b, mult in self.net_pairs:
+            (ax, ay), (bx, by) = centers[a], centers[b]
+            total += mult * (abs(ax - bx) + abs(ay - by))
+        return total
+
+    def _cost(
+        self, gamma_plus: List[str], gamma_minus: List[str]
+    ) -> Tuple[float, List[Placement], float, float]:
+        placements, w, h = pack(gamma_plus, gamma_minus, self.blocks)
+        area = w * h
+        # Penalise elongated chips: routing and tiling prefer near-square.
+        squareness = max(w, h) / max(min(w, h), 1e-9)
+        wl = self._wirelength(placements)
+        cost = area * (1.0 + 0.1 * (squareness - 1.0)) + self.wirelength_weight * wl
+        return cost, placements, w, h
+
+    def _neighbour(
+        self, gamma_plus: List[str], gamma_minus: List[str]
+    ) -> Tuple[List[str], List[str], Optional[Tuple[str, Block]]]:
+        """Propose a move; returns the new pair plus an undo record
+        ``(name, previous_block)`` when a block was reshaped."""
+        gp, gm = list(gamma_plus), list(gamma_minus)
+        n = len(gp)
+        move = self.rng.random()
+        i, j = self.rng.randrange(n), self.rng.randrange(n)
+        undo = None
+        if move < 0.4:
+            gp[i], gp[j] = gp[j], gp[i]
+        elif move < 0.8:
+            gm[i], gm[j] = gm[j], gm[i]
+        else:
+            name = gp[i]
+            block = self.blocks[name]
+            if not block.hard:
+                undo = (name, block)
+                self.blocks[name] = block.with_aspect(self.rng.choice(_ASPECTS))
+        return gp, gm, undo
+
+    # ------------------------------------------------------------------
+    def run(
+        self, iterations: int = 3000, t_start: float = 1.0, t_end: float = 1e-3
+    ) -> Tuple[List[Placement], float, float]:
+        """Anneal and return ``(placements, chip_w, chip_h)`` of the best
+        floorplan found.
+
+        ``self.best_sequences`` and ``self.best_blocks`` hold the
+        sequence pair and block shapes of that floorplan, so callers
+        can re-pack it incrementally (e.g. after expanding a block).
+        """
+        names = sorted(self.blocks)
+        gp = list(names)
+        gm = list(names)
+        self.rng.shuffle(gp)
+        self.rng.shuffle(gm)
+        cost, placements, w, h = self._cost(gp, gm)
+        best = (cost, placements, w, h)
+        self.best_sequences = (list(gp), list(gm))
+        self.best_blocks = dict(self.blocks)
+
+        alpha = (t_end / t_start) ** (1.0 / max(iterations, 1))
+        temp = t_start * cost  # scale temperature to the cost magnitude
+        for _ in range(iterations):
+            cand_gp, cand_gm, undo = self._neighbour(gp, gm)
+            cand_cost, cand_pl, cand_w, cand_h = self._cost(cand_gp, cand_gm)
+            delta = cand_cost - cost
+            if delta <= 0 or self.rng.random() < math.exp(-delta / max(temp, 1e-12)):
+                gp, gm, cost = cand_gp, cand_gm, cand_cost
+                if cost < best[0]:
+                    best = (cost, cand_pl, cand_w, cand_h)
+                    self.best_sequences = (list(gp), list(gm))
+                    self.best_blocks = dict(self.blocks)
+            elif undo is not None:
+                name, previous = undo
+                self.blocks[name] = previous
+            temp *= alpha
+        _best_cost, placements, w, h = best
+        return placements, w, h

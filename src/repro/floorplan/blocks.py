@@ -1,0 +1,106 @@
+"""Circuit-block models for floorplanning.
+
+The paper distinguishes *hard* blocks (fixed layout; repeaters and
+flip-flops can only go into pre-allocated sites) and *soft* blocks
+(area known, layout not yet done; anything fits as long as the block's
+total capacity is not exceeded).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import FloorplanError
+
+
+@dataclasses.dataclass
+class Block:
+    """A circuit block to be placed by the floorplanner.
+
+    Attributes:
+        name: Block identifier.
+        unit_area: Total area of the functional units assigned to it.
+        hard: Hard blocks have a fixed outline and only pre-allocated
+            insertion sites; soft blocks absorb repeaters/flip-flops up
+            to their capacity.
+        whitespace: Fractional slack added on top of ``unit_area`` when
+            sizing the outline (soft blocks keep this as insertion
+            capacity).
+        aspect: Width/height ratio of the current outline.
+        site_capacity: For hard blocks, the area of pre-allocated
+            repeater/flip-flop sites.
+    """
+
+    name: str
+    unit_area: float
+    hard: bool = False
+    whitespace: float = 0.25
+    aspect: float = 1.0
+    site_capacity: float = 0.0
+
+    def __post_init__(self):
+        if self.unit_area <= 0:
+            raise FloorplanError(f"block {self.name!r} has non-positive area")
+        if not 0.2 <= self.aspect <= 5.0:
+            raise FloorplanError(f"block {self.name!r} aspect {self.aspect} out of range")
+
+    @property
+    def outline_area(self) -> float:
+        return self.unit_area * (1.0 + self.whitespace)
+
+    @property
+    def width(self) -> float:
+        return math.sqrt(self.outline_area * self.aspect)
+
+    @property
+    def height(self) -> float:
+        return math.sqrt(self.outline_area / self.aspect)
+
+    @property
+    def capacity(self) -> float:
+        """Area available for repeater/flip-flop insertion."""
+        if self.hard:
+            return self.site_capacity
+        return self.outline_area - self.unit_area
+
+    def with_aspect(self, aspect: float) -> "Block":
+        """A copy with a different outline aspect (soft blocks only)."""
+        if self.hard:
+            raise FloorplanError(f"hard block {self.name!r} cannot be reshaped")
+        return dataclasses.replace(self, aspect=aspect)
+
+    def expanded(self, factor: float) -> "Block":
+        """A copy with ``whitespace`` scaled up — the paper's floorplan
+        expansion step between interconnect-planning iterations."""
+        if factor < 1.0:
+            raise FloorplanError("expansion factor must be >= 1")
+        return dataclasses.replace(
+            self, whitespace=(1.0 + self.whitespace) * factor - 1.0
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """A placed block: lower-left corner plus dimensions."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+    @property
+    def center(self):
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def contains(self, px: float, py: float) -> bool:
+        return self.x <= px < self.x2 and self.y <= py < self.y2

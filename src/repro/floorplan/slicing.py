@@ -1,0 +1,228 @@
+"""Slicing-tree floorplanner (normalised Polish expressions).
+
+The paper only requires *a* floorplanner ("A floorplan of the circuit
+blocks"); the primary implementation is the sequence-pair annealer.
+This module provides the other classic representation as an
+alternative backend: a slicing floorplan encoded as a normalised
+Polish expression (Wong & Liu, DAC 1986), annealed with the three
+standard moves
+
+* M1 — swap two adjacent operands;
+* M2 — complement a chain of operators (``H`` <-> ``V``);
+* M3 — swap an adjacent operand/operator pair (keeping the expression
+  normalised: no two identical adjacent operators, balloting property).
+
+Soft blocks contribute a small set of candidate shapes; shape curves
+are combined bottom-up, which is the slicing structure's big win —
+block shaping is optimal per tree, not a random walk.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.blocks import Block, Placement
+
+_H = "H"  # horizontal cut: top/bottom composition
+_V = "V"  # vertical cut: left/right composition
+
+_SOFT_ASPECTS = (0.5, 0.75, 1.0, 1.33, 2.0)
+
+
+def _block_shapes(block: Block) -> List[Tuple[float, float]]:
+    """Candidate (width, height) shapes for one block."""
+    if block.hard:
+        return [(block.width, block.height)]
+    area = block.outline_area
+    return [
+        (math.sqrt(area * a), math.sqrt(area / a)) for a in _SOFT_ASPECTS
+    ]
+
+
+class _ShapeCurve:
+    """A small list of non-dominated (w, h) options with provenance."""
+
+    def __init__(self, options: List[Tuple[float, float, object]]):
+        # options: (width, height, provenance)
+        self.options = self._prune(options)
+
+    @staticmethod
+    def _prune(options):
+        options = sorted(options, key=lambda o: (o[0], o[1]))
+        kept = []
+        best_h = float("inf")
+        for w, h, prov in options:
+            if h < best_h - 1e-12:
+                kept.append((w, h, prov))
+                best_h = h
+        return kept
+
+
+def _combine(a: "_ShapeCurve", b: "_ShapeCurve", op: str) -> "_ShapeCurve":
+    options = []
+    for wa, ha, pa in a.options:
+        for wb, hb, pb in b.options:
+            if op == _V:  # side by side
+                options.append((wa + wb, max(ha, hb), (pa, pb)))
+            else:  # stacked
+                options.append((max(wa, wb), ha + hb, (pa, pb)))
+    return _ShapeCurve(options)
+
+
+def _is_normalised(expr: Sequence[str], n_operands: int) -> bool:
+    """Balloting property + no two identical adjacent operators."""
+    count = 0
+    prev = None
+    for token in expr:
+        if token in (_H, _V):
+            count -= 1
+            if count < 1:
+                return False
+            if token == prev:
+                return False
+        else:
+            count += 1
+        prev = token if token in (_H, _V) else None
+    return count == 1
+
+
+class SlicingFloorplanner:
+    """Anneal a normalised Polish expression over the given blocks."""
+
+    def __init__(self, blocks: Sequence[Block], seed: int = 0):
+        if not blocks:
+            raise FloorplanError("no blocks to floorplan")
+        self.blocks: Dict[str, Block] = {b.name: b for b in blocks}
+        self.rng = random.Random(seed)
+        self.shapes = {name: _block_shapes(b) for name, b in self.blocks.items()}
+
+    # ------------------------------------------------------------------
+    def _initial_expression(self) -> List[str]:
+        names = sorted(self.blocks)
+        self.rng.shuffle(names)
+        expr = [names[0]]
+        for i, name in enumerate(names[1:]):
+            expr += [name, _V if i % 2 == 0 else _H]
+        return expr
+
+    def _evaluate(self, expr: Sequence[str]) -> Tuple[float, _ShapeCurve]:
+        """Bottom-up shape-curve evaluation; returns (best area, curve)."""
+        stack: List[_ShapeCurve] = []
+        for token in expr:
+            if token in (_H, _V):
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(_combine(a, b, token))
+            else:
+                stack.append(
+                    _ShapeCurve(
+                        [(w, h, (token, i)) for i, (w, h) in enumerate(self.shapes[token])]
+                    )
+                )
+        if len(stack) != 1:
+            raise FloorplanError("malformed Polish expression")
+        curve = stack[0]
+        best = min(w * h * (1.0 + 0.1 * (max(w, h) / min(w, h) - 1.0))
+                   for w, h, _p in curve.options)
+        return best, curve
+
+    def _neighbour(self, expr: List[str]) -> List[str]:
+        expr = list(expr)
+        n = len(expr)
+        operands = [i for i, t in enumerate(expr) if t not in (_H, _V)]
+        move = self.rng.random()
+        if move < 0.4 and len(operands) >= 2:
+            # M1: swap adjacent operands (adjacent in operand order)
+            k = self.rng.randrange(len(operands) - 1)
+            i, j = operands[k], operands[k + 1]
+            expr[i], expr[j] = expr[j], expr[i]
+            return expr
+        if move < 0.7:
+            # M2: complement an operator chain
+            ops = [i for i, t in enumerate(expr) if t in (_H, _V)]
+            if ops:
+                start = self.rng.choice(ops)
+                i = start
+                while i < n and expr[i] in (_H, _V):
+                    expr[i] = _V if expr[i] == _H else _H
+                    i += 1
+            return expr
+        # M3: swap operand with adjacent operator if still normalised
+        candidates = [
+            i
+            for i in range(n - 1)
+            if (expr[i] in (_H, _V)) != (expr[i + 1] in (_H, _V))
+        ]
+        self.rng.shuffle(candidates)
+        n_operands = len(operands)
+        for i in candidates:
+            trial = list(expr)
+            trial[i], trial[i + 1] = trial[i + 1], trial[i]
+            if _is_normalised(trial, n_operands):
+                return trial
+        return expr
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int = 2500) -> Tuple[List[Placement], float, float]:
+        """Anneal; returns (placements, chip_w, chip_h)."""
+        expr = self._initial_expression()
+        cost, _curve = self._evaluate(expr)
+        best_expr = list(expr)
+        best_cost = cost
+        temp = cost
+        alpha = (1e-4) ** (1.0 / max(iterations, 1))
+        for _ in range(iterations):
+            cand = self._neighbour(expr)
+            cand_cost, _c = self._evaluate(cand)
+            delta = cand_cost - cost
+            if delta <= 0 or self.rng.random() < math.exp(
+                -delta / max(temp, 1e-12)
+            ):
+                expr, cost = cand, cand_cost
+                if cost < best_cost:
+                    best_cost, best_expr = cost, list(expr)
+            temp *= alpha
+        return self._realise(best_expr)
+
+    def _realise(self, expr: Sequence[str]) -> Tuple[List[Placement], float, float]:
+        """Pick the best root shape and assign coordinates top-down."""
+        _cost, curve = self._evaluate(expr)
+        w, h, provenance = min(
+            curve.options,
+            key=lambda o: o[0] * o[1] * (1.0 + 0.1 * (max(o[0], o[1]) / min(o[0], o[1]) - 1.0)),
+        )
+        placements: List[Placement] = []
+
+        # Rebuild the tree to walk provenance top-down.
+        stack: List[Tuple[object, ...]] = []
+        for token in expr:
+            if token in (_H, _V):
+                b = stack.pop()
+                a = stack.pop()
+                stack.append((token, a, b))
+            else:
+                stack.append(("leaf", token))
+        tree = stack[0]
+
+        def place(node, prov, x, y):
+            if node[0] == "leaf":
+                name, shape_idx = prov
+                bw, bh = self.shapes[name][shape_idx]
+                placements.append(
+                    Placement(name=name, x=x, y=y, width=bw, height=bh)
+                )
+                return bw, bh
+            op, left, right = node
+            pa, pb = prov
+            wa, ha = place(left, pa, x, y)
+            if op == _V:
+                wb, hb = place(right, pb, x + wa, y)
+                return wa + wb, max(ha, hb)
+            wb, hb = place(right, pb, x, y + ha)
+            return max(wa, wb), ha + hb
+
+        total_w, total_h = place(tree, provenance, 0.0, 0.0)
+        return placements, total_w, total_h

@@ -1,0 +1,235 @@
+"""Seeded synthetic sequential-circuit generator.
+
+The original ISCAS89 netlists cannot be shipped with this repository,
+so the Table 1 benchmark suite runs on synthetic stand-ins generated
+here (see DESIGN.md, "Substitutions"). The generator produces circuits
+with the structural properties that matter to retiming and interconnect
+planning:
+
+* a random DAG of functional units with a realistic (heavy-tailed)
+  fanout distribution;
+* feedback connections that always carry at least one flip-flop, so no
+  combinational cycles exist;
+* a controllable total flip-flop count, spread unevenly so that the
+  initial register distribution is unbalanced (the paper observes large
+  ``T_init`` vs ``T_min`` gaps caused by exactly this);
+* primary inputs/outputs attached to the split host.
+
+Everything is driven by a ``random.Random(seed)`` instance, so circuit
+generation is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.graph import CircuitGraph
+
+
+def _pick_fanout_count(rng: random.Random) -> int:
+    """Heavy-tailed fanout: mostly 1-2 sinks, occasionally many."""
+    roll = rng.random()
+    if roll < 0.55:
+        return 1
+    if roll < 0.80:
+        return 2
+    if roll < 0.92:
+        return 3
+    return rng.randint(4, 8)
+
+
+def random_circuit(
+    name: str,
+    n_units: int,
+    n_ffs: int,
+    seed: int,
+    n_inputs: Optional[int] = None,
+    n_outputs: Optional[int] = None,
+    feedback_fraction: float = 0.12,
+    locality: float = 0.08,
+    registered_io: bool = True,
+    delay_choices: Sequence[float] = (0.6, 1.0, 1.0, 1.0, 1.6),
+    area_choices: Sequence[float] = (8.0, 16.0, 16.0, 16.0, 24.0),
+) -> CircuitGraph:
+    """Generate a random sequential circuit as a retiming graph.
+
+    Args:
+        name: Circuit name (e.g. ``"s386"`` for a synthetic stand-in).
+        n_units: Number of functional units (excluding hosts).
+        n_ffs: Total flip-flops to distribute over connections.
+        seed: RNG seed; the same arguments always yield the same graph.
+        n_inputs: Primary inputs (default: scaled from ``n_units``).
+        n_outputs: Primary outputs (default: scaled from ``n_units``).
+        feedback_fraction: Fraction of units receiving a feedback
+            (registered) connection from a later unit.
+        locality: Connection locality. Most connections stay within a
+            window of ``max(4, locality * n_units)`` unit indices, the
+            way real netlists cluster — this is what lets partitioning
+            find small cuts; a minority of connections are global.
+        registered_io: Put one flip-flop on every host edge (registered
+            primary inputs/outputs). Because retiming pins the host
+            labels, a *combinational* input-to-output path can never be
+            pipelined; registered I/O — standard for RT-level designs —
+            keeps the minimum period retimable.
+        delay_choices: Per-unit delay population, sampled uniformly.
+        area_choices: Per-unit area population, sampled uniformly.
+
+    Returns:
+        A validated :class:`CircuitGraph` with hosts attached.
+    """
+    if n_units < 2:
+        raise NetlistError("need at least two units")
+    rng = random.Random(seed)
+    n_inputs = n_inputs if n_inputs is not None else max(2, n_units // 20)
+    n_outputs = n_outputs if n_outputs is not None else max(2, n_units // 25)
+
+    graph = CircuitGraph(name)
+    src, snk = graph.ensure_hosts()
+    units = [f"u{i}" for i in range(n_units)]
+    for unit in units:
+        graph.add_unit(
+            unit,
+            delay=rng.choice(delay_choices),
+            area=rng.choice(area_choices),
+        )
+
+    # Forward DAG edges: every non-source unit gets at least one fanin
+    # from an earlier unit; fanouts follow a heavy-tailed distribution.
+    existing = set()
+
+    def connect(u_idx: int, v_idx: int, weight: int) -> None:
+        pair = (u_idx, v_idx)
+        if pair in existing:
+            return
+        existing.add(pair)
+        graph.add_connection(units[u_idx], units[v_idx], weight=weight)
+
+    window = max(4, int(locality * n_units))
+
+    def pick_forward_sink(u_idx: int) -> int:
+        """Mostly local sink after ``u_idx``; occasionally global."""
+        if rng.random() < 0.85:
+            hi = min(n_units, u_idx + 1 + window)
+            return rng.randrange(u_idx + 1, hi)
+        return rng.randrange(u_idx + 1, n_units)
+
+    for v_idx in range(1, n_units):
+        lo = max(0, v_idx - window) if rng.random() < 0.85 else 0
+        u_idx = rng.randrange(lo, v_idx)
+        connect(u_idx, v_idx, 0)
+    for u_idx in range(n_units - 1):
+        extra = _pick_fanout_count(rng) - 1
+        for _ in range(extra):
+            connect(u_idx, pick_forward_sink(u_idx), 0)
+
+    # Feedback edges, always registered. Multiple flip-flops per loop
+    # keep cycles pipelinable even once interconnect delay is added.
+    feedback_pairs = []
+    n_feedback = max(1, int(feedback_fraction * n_units))
+    attempts = 0
+    while len(feedback_pairs) < n_feedback and attempts < 20 * n_feedback:
+        attempts += 1
+        v_idx = rng.randrange(0, max(1, n_units - 1))
+        hi = min(n_units, v_idx + window) if rng.random() < 0.7 else n_units
+        u_idx = rng.randrange(v_idx, hi)
+        if (u_idx, v_idx) in existing:
+            continue
+        existing.add((u_idx, v_idx))
+        cid = graph.add_connection(
+            units[u_idx], units[v_idx], weight=rng.randint(2, 4)
+        )
+        feedback_pairs.append(cid)
+
+    # Attach hosts: the first units without fanin become primary inputs,
+    # units without fanout become primary outputs; force the requested
+    # counts by adding host taps to random units if needed.
+    no_fanin = [u for u in units if graph.in_degree(u) == 0]
+    no_fanout = [u for u in units if graph.out_degree(u) == 0]
+    inputs = list(no_fanin)
+    while len(inputs) < n_inputs:
+        pool = [u for u in units[: max(1, n_units // 4)] if u not in inputs]
+        if not pool:
+            pool = [u for u in units if u not in inputs]
+        if not pool:
+            break
+        inputs.append(rng.choice(pool))
+    outputs = list(no_fanout)
+    while len(outputs) < n_outputs:
+        pool = [
+            u for u in units[max(0, 3 * n_units // 4) :] if u not in outputs
+        ]
+        if not pool:
+            pool = [u for u in units if u not in outputs]
+        if not pool:
+            break
+        outputs.append(rng.choice(pool))
+    io_weight = 1 if registered_io else 0
+    for unit in inputs:
+        graph.add_connection(src, unit, weight=io_weight)
+    for unit in outputs:
+        graph.add_connection(unit, snk, weight=io_weight)
+
+    # Distribute whatever flip-flop budget remains beyond the mandatory
+    # registers (feedback loops, registered I/O) unevenly: bias towards
+    # a few "register file" connections so the initial distribution is
+    # unbalanced, like a netlist written without physical knowledge.
+    # The total is therefore max(n_ffs, mandatory registers).
+    remaining = n_ffs - graph.total_flip_flops()
+    all_cids = list(graph.connection_ids())
+    hot = rng.sample(all_cids, max(1, len(all_cids) // 10))
+    while remaining > 0:
+        cid = rng.choice(hot) if rng.random() < 0.6 else rng.choice(all_cids)
+        graph.set_weight(cid, graph.weight(cid) + 1)
+        remaining -= 1
+
+    graph.validate()
+    return graph
+
+
+def random_bench_netlist(
+    name: str,
+    n_gates: int,
+    n_inputs: int,
+    n_dffs: int,
+    n_outputs: int,
+    seed: int,
+):
+    """Generate a random gate-level ``.bench`` netlist.
+
+    Used by the behavioural-equivalence property tests: unlike
+    :func:`random_circuit` this produces an actual logic netlist
+    (gate types + DFFs) that can be simulated. Gates only consume
+    primary inputs, DFF outputs, and earlier gate outputs, so the
+    combinational part is acyclic by construction; DFFs sample gate
+    outputs (possibly later ones — sequential feedback).
+
+    Returns a :class:`repro.netlist.bench.BenchNetlist`.
+    """
+    from repro.netlist.bench import BenchNetlist
+
+    if n_gates < 1 or n_inputs < 1:
+        raise NetlistError("need at least one gate and one input")
+    rng = random.Random(seed)
+    inputs = [f"in{i}" for i in range(n_inputs)]
+    dff_nets = [f"q{i}" for i in range(n_dffs)]
+    gate_nets = [f"g{i}" for i in range(n_gates)]
+
+    two_input = ["AND", "NAND", "OR", "NOR", "XOR", "XNOR"]
+    gates = {}
+    for i, net in enumerate(gate_nets):
+        pool = inputs + dff_nets + gate_nets[:i]
+        if rng.random() < 0.2:
+            gates[net] = ("NOT", [rng.choice(pool)])
+        else:
+            gates[net] = (
+                rng.choice(two_input),
+                [rng.choice(pool), rng.choice(pool)],
+            )
+
+    dffs = {q: rng.choice(gate_nets) for q in dff_nets}
+    outputs = rng.sample(gate_nets, min(n_outputs, n_gates))
+    return BenchNetlist(
+        name=name, inputs=inputs, outputs=outputs, gates=gates, dffs=dffs
+    )

@@ -1,0 +1,116 @@
+"""Structured pipelined-datapath circuit generator.
+
+:func:`random_circuit` generates unstructured "sea of gates" netlists;
+this module generates the *structured* kind the paper's introduction
+motivates: a datapath of pipeline stages whose registers were placed by
+a frontend with no physical knowledge — all register banks sit at stage
+boundaries, so once interconnect delay is added the stage delays are
+wildly unbalanced and retiming has real work to do.
+
+Shape: ``n_stages`` stages of ``width`` parallel lanes. Each stage is a
+small cone of logic per lane plus cross-lane mixing; a register bank
+separates consecutive stages; a feedback bus (accumulator style) loops
+the last stage back to an early one with extra registers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.graph import CircuitGraph
+
+
+def pipeline_circuit(
+    name: str,
+    n_stages: int,
+    width: int,
+    seed: int = 0,
+    logic_depth: int = 3,
+    feedback_stages: int = 1,
+    delay_choices: Sequence[float] = (0.6, 1.0, 1.0, 1.6),
+    area_choices: Sequence[float] = (8.0, 16.0, 16.0, 24.0),
+) -> CircuitGraph:
+    """Generate a pipelined datapath as a retiming graph.
+
+    Args:
+        name: Circuit name.
+        n_stages: Pipeline stages (>= 2).
+        width: Parallel lanes per stage (>= 1).
+        seed: RNG seed (construction is reproducible).
+        logic_depth: Logic levels inside one stage.
+        feedback_stages: How many accumulator feedback buses to add.
+        delay_choices / area_choices: Per-unit populations.
+
+    Returns:
+        A validated :class:`CircuitGraph` with registered I/O.
+    """
+    if n_stages < 2:
+        raise NetlistError("need at least two pipeline stages")
+    if width < 1:
+        raise NetlistError("width must be positive")
+    rng = random.Random(seed)
+    graph = CircuitGraph(name)
+    src, snk = graph.ensure_hosts()
+
+    def new_unit(stage: int, level: int, lane: int) -> str:
+        unit = f"s{stage}l{level}x{lane}"
+        graph.add_unit(
+            unit,
+            delay=rng.choice(delay_choices),
+            area=rng.choice(area_choices),
+        )
+        return unit
+
+    # stage_out[s][lane] = final unit of stage s in that lane
+    stage_out: List[List[str]] = []
+    for stage in range(n_stages):
+        levels: List[List[str]] = []
+        for level in range(logic_depth):
+            row = [new_unit(stage, level, lane) for lane in range(width)]
+            if level == 0:
+                if stage == 0:
+                    for unit in row:
+                        graph.add_connection(src, unit, weight=1)
+                else:
+                    # register bank between stages: weight-1 edges
+                    for lane, unit in enumerate(row):
+                        graph.add_connection(
+                            stage_out[stage - 1][lane], unit, weight=1
+                        )
+                        # cross-lane mixing from the previous stage
+                        other = rng.randrange(width)
+                        if other != lane:
+                            graph.add_connection(
+                                stage_out[stage - 1][other], unit, weight=1
+                            )
+            else:
+                prev = levels[level - 1]
+                for lane, unit in enumerate(row):
+                    graph.add_connection(prev[lane], unit, weight=0)
+                    if width > 1 and rng.random() < 0.4:
+                        other = rng.randrange(width)
+                        if other != lane:
+                            graph.add_connection(prev[other], unit, weight=0)
+            levels.append(row)
+        stage_out.append(levels[-1])
+
+    for unit in stage_out[-1]:
+        graph.add_connection(unit, snk, weight=1)
+
+    # Accumulator feedback: last stage loops back near the front with
+    # enough registers to match the forward latency (loop is balanced,
+    # so retiming can redistribute them).
+    for i in range(feedback_stages):
+        target_stage = min(i, n_stages - 2)
+        lane = rng.randrange(width)
+        forward_regs = n_stages - target_stage
+        graph.add_connection(
+            stage_out[-1][lane],
+            stage_out[target_stage][lane],
+            weight=forward_regs,
+        )
+
+    graph.validate()
+    return graph

@@ -1,0 +1,136 @@
+"""Apply a retiming to a ``.bench`` netlist (register relocation).
+
+Retiming is computed on the abstract graph; this module carries the
+result back to the gate level, producing a new :class:`BenchNetlist`
+whose registers have physically moved. Together with
+:mod:`repro.netlist.sim` this closes the loop on the paper's "correct
+system behaviors are guaranteed" claim: the transformed netlist can be
+simulated against the original.
+
+Construction: for every driver ``d`` (gate or primary input) the new
+register count towards sink ``s`` is ``w(d, s) + r(s) - r(d)`` (with
+``r = 0`` for primary inputs/outputs — boundary registers implied by a
+positive pad label fold into the same per-driver chain). Each driver
+grows one shared DFF chain of the maximum depth its sinks need, and
+every sink taps the chain at its own depth — register sharing across
+fanouts for free.
+
+Primary outputs whose register count changes tap the chain through a
+fresh ``BUF`` gate so the output net keeps a stable, unique name;
+:func:`retimed_outputs` reports the positional mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.bench import BenchNetlist
+
+_RESOLVE_LIMIT = 1_000_000
+
+
+def _direct_driver(netlist: BenchNetlist, net: str) -> Tuple[str, int]:
+    """Combinational driver of ``net`` plus DFF count along the chain."""
+    count = 0
+    cur = net
+    for _ in range(_RESOLVE_LIMIT):
+        if cur in netlist.dffs:
+            count += 1
+            cur = netlist.dffs[cur]
+            continue
+        if cur in netlist.gates or cur in netlist.inputs:
+            return cur, count
+        raise NetlistError(f"net {cur!r} is never driven")
+    raise NetlistError("DFF chain too long (cycle?)")
+
+
+def retime_bench(
+    netlist: BenchNetlist, labels: Mapping[str, int]
+) -> BenchNetlist:
+    """Return a new netlist with registers moved per ``labels``.
+
+    ``labels`` maps *gate output nets* (the graph's unit names) to
+    retiming labels; missing nets (including primary inputs) default
+    to 0. Raises :class:`NetlistError` if any edge would end up with a
+    negative register count (an illegal retiming for this netlist).
+    """
+
+    def label(driver: str) -> int:
+        if driver in netlist.inputs:
+            return 0
+        return labels.get(driver, 0)
+
+    # Collect per-driver sink demands.
+    chain_need: Dict[str, int] = {}  # driver -> max registers needed
+    edge_regs: Dict[Tuple[str, str, int], int] = {}  # (driver, sink, pos)
+
+    def record(driver: str, sink_label: int, old_count: int, edge_key):
+        new_count = old_count + sink_label - label(driver)
+        if new_count < 0:
+            raise NetlistError(
+                f"retiming makes edge {edge_key} register count negative"
+            )
+        chain_need[driver] = max(chain_need.get(driver, 0), new_count)
+        edge_regs[edge_key] = new_count
+
+    for net, (_gate_type, ins) in netlist.gates.items():
+        for pos, in_net in enumerate(ins):
+            driver, old_count = _direct_driver(netlist, in_net)
+            record(driver, labels.get(net, 0), old_count, (driver, net, pos))
+    po_regs: List[Tuple[str, str, int]] = []  # (output net, driver, count)
+    for out_net in netlist.outputs:
+        driver, old_count = _direct_driver(netlist, out_net)
+        new_count = old_count + 0 - label(driver)
+        if new_count < 0:
+            raise NetlistError(
+                f"retiming makes output {out_net!r} register count negative"
+            )
+        chain_need[driver] = max(chain_need.get(driver, 0), new_count)
+        po_regs.append((out_net, driver, new_count))
+
+    # Build the new netlist: original combinational gates + shared DFF
+    # chains per driver.
+    gates: Dict[str, Tuple[str, List[str]]] = {}
+    dffs: Dict[str, str] = {}
+
+    def chain_net(driver: str, depth: int) -> str:
+        """Net carrying ``driver`` delayed by ``depth`` registers."""
+        if depth == 0:
+            return driver
+        return f"{driver}__r{depth}"
+
+    for driver, need in chain_need.items():
+        for depth in range(1, need + 1):
+            dffs[chain_net(driver, depth)] = chain_net(driver, depth - 1)
+
+    for net, (gate_type, ins) in netlist.gates.items():
+        new_ins = []
+        for pos, in_net in enumerate(ins):
+            driver, _old = _direct_driver(netlist, in_net)
+            new_ins.append(chain_net(driver, edge_regs[(driver, net, pos)]))
+        gates[net] = (gate_type, new_ins)
+
+    outputs: List[str] = []
+    for out_net, driver, count in po_regs:
+        tap = chain_net(driver, count)
+        if tap == out_net:
+            outputs.append(out_net)
+        else:
+            # keep a stable, unique output name via a buffer
+            po_name = f"{out_net}__po"
+            gates[po_name] = ("BUF", [tap])
+            outputs.append(po_name)
+
+    return BenchNetlist(
+        name=f"{netlist.name}_retimed",
+        inputs=list(netlist.inputs),
+        outputs=outputs,
+        gates=gates,
+        dffs=dffs,
+    )
+
+
+def register_count(netlist: BenchNetlist) -> int:
+    """Number of DFF cells in the netlist (with fanout sharing)."""
+    return len(netlist.dffs)

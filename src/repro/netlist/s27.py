@@ -1,0 +1,37 @@
+"""The ISCAS89 ``s27`` benchmark, embedded verbatim.
+
+``s27`` is the smallest ISCAS89 circuit (10 gates, 3 flip-flops) and is
+in the public domain; we embed it for parser and end-to-end flow tests.
+Larger ISCAS89 circuits are represented by seeded synthetic equivalents
+(see :mod:`repro.netlist.generate` and DESIGN.md).
+"""
+
+from repro.netlist.bench import bench_to_graph, parse_bench_text
+from repro.netlist.graph import CircuitGraph
+
+S27_BENCH = """\
+# s27 — ISCAS89 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+"""
+
+
+def s27_graph() -> CircuitGraph:
+    """Parse the embedded ``s27`` netlist into a retiming graph."""
+    return bench_to_graph(parse_bench_text(S27_BENCH, name="s27"))

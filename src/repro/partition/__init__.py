@@ -1,0 +1,11 @@
+"""Partitioning of functional units into circuit blocks (FM-based)."""
+
+from repro.partition.fm import FMBipartitioner
+from repro.partition.multiway import Partition, default_block_count, partition_graph
+
+__all__ = [
+    "FMBipartitioner",
+    "Partition",
+    "partition_graph",
+    "default_block_count",
+]

@@ -1,0 +1,150 @@
+"""Fiduccia–Mattheyses bipartitioning.
+
+The paper's experimental flow "first partitions those circuits into
+soft blocks". We implement the classic FM heuristic: iterative
+single-cell moves with gain buckets, an area-balance constraint, and
+multi-pass refinement, operating on the connection structure of a
+:class:`CircuitGraph` (host vertices and parallel-edge multiplicity are
+handled by the caller, :mod:`repro.partition.multiway`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+class FMBipartitioner:
+    """One FM bipartition instance over a set of cells.
+
+    Args:
+        cells: Cell names.
+        areas: Cell areas (used for the balance constraint).
+        nets: Each net is a set of cells that are electrically
+            connected; cut size counts nets with cells on both sides.
+        balance: Maximum fraction of total area on one side.
+        rng: Seeded RNG for the initial partition.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[str],
+        areas: Mapping[str, float],
+        nets: Sequence[Set[str]],
+        balance: float = 0.6,
+        rng: Optional[random.Random] = None,
+    ):
+        self.cells = list(cells)
+        self.areas = dict(areas)
+        self.nets = [set(n) for n in nets if len(n) > 1]
+        self.balance = balance
+        self.rng = rng or random.Random(0)
+        self.total_area = sum(self.areas[c] for c in self.cells)
+        # Balance tolerance of at least one (largest) cell: without it a
+        # perfectly balanced partition admits no legal move at all and
+        # the pass deadlocks.
+        max_cell = max((self.areas[c] for c in self.cells), default=0.0)
+        self.max_side_area = max(
+            self.balance * self.total_area, self.total_area / 2.0 + max_cell
+        )
+        self._nets_of: Dict[str, List[int]] = {c: [] for c in self.cells}
+        for i, net in enumerate(self.nets):
+            for c in net:
+                if c in self._nets_of:
+                    self._nets_of[c].append(i)
+
+    # ------------------------------------------------------------------
+    def run(self, passes: int = 8) -> Dict[str, int]:
+        """Return a side assignment ``cell -> 0 | 1``."""
+        side = self._initial_partition()
+        best_side = dict(side)
+        best_cut = self.cut_size(side)
+        for _ in range(passes):
+            improved, side = self._one_pass(side)
+            cut = self.cut_size(side)
+            if cut < best_cut:
+                best_cut = cut
+                best_side = dict(side)
+            if not improved:
+                break
+        return best_side
+
+    def cut_size(self, side: Mapping[str, int]) -> int:
+        cut = 0
+        for net in self.nets:
+            sides = {side[c] for c in net if c in side}
+            if len(sides) > 1:
+                cut += 1
+        return cut
+
+    # ------------------------------------------------------------------
+    def _initial_partition(self) -> Dict[str, int]:
+        """Random area-balanced split."""
+        order = list(self.cells)
+        self.rng.shuffle(order)
+        side: Dict[str, int] = {}
+        area0 = 0.0
+        for c in order:
+            if area0 + self.areas[c] <= self.total_area / 2.0:
+                side[c] = 0
+                area0 += self.areas[c]
+            else:
+                side[c] = 1
+        return side
+
+    def _gain(self, cell: str, side: Mapping[str, int]) -> int:
+        """Cut-size reduction if ``cell`` moves to the other side."""
+        gain = 0
+        s = side[cell]
+        for i in self._nets_of[cell]:
+            net = self.nets[i]
+            same = sum(1 for c in net if c != cell and side[c] == s)
+            other = len(net) - 1 - same
+            if same == 0:
+                gain += 1  # net becomes uncut
+            if other == 0:
+                gain -= 1  # net becomes cut
+        return gain
+
+    def _one_pass(self, side: Dict[str, int]) -> Tuple[bool, Dict[str, int]]:
+        """One FM pass: move every cell once, keep the best prefix."""
+        side = dict(side)
+        area = [0.0, 0.0]
+        for c in self.cells:
+            area[side[c]] += self.areas[c]
+        locked: Set[str] = set()
+        history: List[Tuple[str, int]] = []
+        cum_gain = 0
+        best_prefix = 0
+        best_gain = 0
+
+        for _ in range(len(self.cells)):
+            best_cell = None
+            best_cell_gain = None
+            for c in self.cells:
+                if c in locked:
+                    continue
+                target = 1 - side[c]
+                if area[target] + self.areas[c] > self.max_side_area:
+                    continue
+                g = self._gain(c, side)
+                if best_cell_gain is None or g > best_cell_gain:
+                    best_cell = c
+                    best_cell_gain = g
+            if best_cell is None:
+                break
+            locked.add(best_cell)
+            s = side[best_cell]
+            area[s] -= self.areas[best_cell]
+            area[1 - s] += self.areas[best_cell]
+            side[best_cell] = 1 - s
+            cum_gain += best_cell_gain
+            history.append((best_cell, best_cell_gain))
+            if cum_gain > best_gain:
+                best_gain = cum_gain
+                best_prefix = len(history)
+
+        # Roll back moves after the best prefix.
+        for cell, _g in history[best_prefix:]:
+            side[cell] = 1 - side[cell]
+        return best_gain > 0, side

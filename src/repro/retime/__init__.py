@@ -1,0 +1,61 @@
+"""Retiming engine: W/D matrices, constraints, min-area / min-period."""
+
+from repro.retime.apply import cycle_weight_invariant, verify_retiming
+from repro.retime.constraints import (
+    Constraint,
+    ConstraintSystem,
+    build_constraint_system,
+    clock_constraints,
+    edge_constraints,
+    host_constraints,
+    prune_redundant,
+)
+from repro.retime.feas import arrival_times, feas_labels
+from repro.retime.flow import feasible_labels, optimal_labels
+from repro.retime.minarea import (
+    RetimingResult,
+    min_area_retiming,
+    normalise_labels,
+    retiming_objective,
+)
+from repro.retime.minperiod import (
+    clock_period,
+    is_feasible_period,
+    min_period_retiming,
+)
+from repro.retime.sharing import min_area_retiming_shared, shared_register_count
+from repro.retime.wd import (
+    WDMatrices,
+    candidate_periods,
+    wd_matrices,
+    wd_matrices_reference,
+)
+
+__all__ = [
+    "WDMatrices",
+    "wd_matrices",
+    "wd_matrices_reference",
+    "candidate_periods",
+    "Constraint",
+    "ConstraintSystem",
+    "edge_constraints",
+    "host_constraints",
+    "clock_constraints",
+    "prune_redundant",
+    "build_constraint_system",
+    "feasible_labels",
+    "feas_labels",
+    "arrival_times",
+    "optimal_labels",
+    "RetimingResult",
+    "retiming_objective",
+    "min_area_retiming",
+    "min_area_retiming_shared",
+    "shared_register_count",
+    "normalise_labels",
+    "clock_period",
+    "is_feasible_period",
+    "min_period_retiming",
+    "verify_retiming",
+    "cycle_weight_invariant",
+]

@@ -1,0 +1,74 @@
+"""Verification helpers for retiming solutions.
+
+Retiming proofs of correctness are cheap to check independently of the
+solvers, so every flow step re-validates its output:
+
+* weights stay non-negative (checked when the retimed graph is built);
+* the achieved clock period (longest register-free path) meets the
+  target;
+* flip-flop conservation per cycle: retiming never changes the total
+  weight around any cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import networkx as nx
+
+from repro.errors import RetimingError
+from repro.netlist.graph import CircuitGraph
+from repro.retime.minperiod import clock_period
+
+
+def verify_retiming(
+    original: CircuitGraph,
+    labels: Mapping[str, int],
+    period: Optional[float] = None,
+) -> CircuitGraph:
+    """Apply ``labels`` to ``original`` and verify the solution.
+
+    Returns the retimed graph. Raises :class:`RetimingError` when the
+    labels are illegal (negative weights, host moved) or, if ``period``
+    is given, when the retimed circuit misses it.
+    """
+    retimed = original.retimed(labels)
+    retimed.validate()
+    if period is not None:
+        achieved = clock_period(retimed)
+        if achieved > period + 1e-9:
+            raise RetimingError(
+                f"retimed circuit has period {achieved}, target was {period}"
+            )
+    return retimed
+
+
+def cycle_weight_invariant(
+    original: CircuitGraph, retimed: CircuitGraph, samples: int = 16
+) -> bool:
+    """Check flip-flop conservation on a sample of cycles.
+
+    Retiming preserves the weight of every cycle; this samples up to
+    ``samples`` cycles from the original graph and compares weights.
+    """
+    simple = original.simple_min_weight_digraph()
+    checked = 0
+    for cycle in nx.simple_cycles(simple):
+        if checked >= samples:
+            break
+        checked += 1
+        w_orig = _cycle_weight(original, cycle)
+        w_ret = _cycle_weight(retimed, cycle)
+        if w_orig != w_ret:
+            return False
+    return True
+
+
+def _cycle_weight(graph: CircuitGraph, cycle) -> int:
+    total = 0
+    n = len(cycle)
+    simple = graph.simple_min_weight_digraph()
+    for i in range(n):
+        u, v = cycle[i], cycle[(i + 1) % n]
+        total += simple.edges[u, v]["weight"]
+    return total

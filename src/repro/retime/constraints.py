@@ -1,0 +1,162 @@
+"""Difference-constraint generation for retiming.
+
+A retiming problem is a set of difference constraints
+``r(u) - r(v) <= bound`` over the retiming labels:
+
+* **edge constraints** (Eqn. (1) of the paper): retimed weights stay
+  non-negative, i.e. ``r(u) - r(v) <= w(e)`` for every connection;
+* **clocking constraints** (Eqn. (2)): every path with delay greater
+  than the clock period must hold at least one flip-flop, i.e.
+  ``r(u) - r(v) <= W(u, v) - 1`` whenever ``D(u, v) > T_clk``;
+* **host constraints**: host vertices are pinned to each other
+  (``r = const`` on each host) so that I/O latency is preserved; the
+  solution is normalised to ``r(host) = 0`` afterwards.
+
+The paper notes (Section 5) that constraint generation dominates
+min-area retiming run time, and that the Maheshwari–Sapatnekar
+reduction would cut it further; :func:`prune_redundant` implements a
+reduction in that spirit. A clocking constraint ``(u, v)`` is dropped
+when a vertex ``x`` on a minimum-weight ``u -> v`` path (witnessed by
+``W(u,x) + W(x,v) == W(u,v)``) carries a kept clocking constraint
+``(u, x)`` or ``(x, v)``: the witness constraint plus the chain of edge
+constraints along the minimum-weight path already implies the dropped
+one. Because the graph has no zero-weight cycles, the "implied-by"
+relation is acyclic, so pruning with witnesses is sound (see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InfeasiblePeriodError, RetimingError
+from repro.netlist.graph import CircuitGraph
+from repro.retime.wd import WDMatrices
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """One difference constraint ``r(u) - r(v) <= bound``."""
+
+    u: str
+    v: str
+    bound: int
+    kind: str  # "edge", "clock", or "host"
+
+
+@dataclasses.dataclass
+class ConstraintSystem:
+    """All difference constraints of one retiming problem."""
+
+    constraints: List[Constraint]
+    period: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def by_kind(self, kind: str) -> List[Constraint]:
+        return [c for c in self.constraints if c.kind == kind]
+
+
+def edge_constraints(graph: CircuitGraph) -> List[Constraint]:
+    """Eqn. (1): one constraint per connection, collapsed to the
+    tightest bound for parallel connections."""
+    best: Dict[Tuple[str, str], int] = {}
+    for (u, v, _key), w in graph.connections():
+        pair = (u, v)
+        if pair not in best or w < best[pair]:
+            best[pair] = w
+    return [Constraint(u, v, w, "edge") for (u, v), w in best.items()]
+
+
+def host_constraints(graph: CircuitGraph) -> List[Constraint]:
+    """Pin all host vertices to a common label (normalised to 0 later)."""
+    hosts = graph.host_units()
+    out: List[Constraint] = []
+    for a, b in zip(hosts, hosts[1:]):
+        out.append(Constraint(a, b, 0, "host"))
+        out.append(Constraint(b, a, 0, "host"))
+    return out
+
+
+def clock_constraints(
+    graph: CircuitGraph,
+    wd: WDMatrices,
+    period: float,
+    prune: bool = False,
+) -> List[Constraint]:
+    """Eqn. (2) for a target clock period.
+
+    Raises :class:`InfeasiblePeriodError` immediately if some single
+    unit's delay already exceeds the period (no retiming can fix that).
+    """
+    max_d = wd.max_vertex_delay()
+    if max_d > period:
+        raise InfeasiblePeriodError(
+            period, f"a single unit has delay {max_d} > period {period}"
+        )
+    pairs = wd.pairs_exceeding(period)
+    if prune:
+        pairs = prune_redundant(wd, period, pairs)
+    out = []
+    for i, j in pairs:
+        bound = int(wd.w[i, j]) - 1
+        out.append(Constraint(wd.order[i], wd.order[j], bound, "clock"))
+    return out
+
+
+def prune_redundant(
+    wd: WDMatrices, period: float, pairs: List[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Drop clocking constraints implied by others plus edge chains.
+
+    For pair ``(u, v)``: any ``x`` distinct from both endpoints with
+    ``W(u,x) + W(x,v) == W(u,v)`` lies on a minimum-weight path, so the
+    chain of edge constraints along that path realises the exact
+    bounds ``W(u,x)`` / ``W(x,v)``. If additionally ``D(u,x) > T`` (or
+    ``D(x,v) > T``) the clocking constraint through ``x`` composes with
+    the chain to a bound ``<= W(u,v) - 1``, making ``(u, v)`` redundant.
+    """
+    if not pairs:
+        return pairs
+    w = wd.w
+    d = wd.d
+    n = w.shape[0]
+    exceeding = np.isfinite(d) & (d > period)
+    np.fill_diagonal(exceeding, False)
+
+    kept: List[Tuple[int, int]] = []
+    by_source: Dict[int, List[int]] = {}
+    for i, j in pairs:
+        by_source.setdefault(i, []).append(j)
+    for i, targets in by_source.items():
+        targets_arr = np.array(targets)
+        # on_path[x, jt] — x lies on a min-weight path i -> targets[jt].
+        with np.errstate(invalid="ignore"):
+            on_path = w[i, :, np.newaxis] + w[:, targets_arr] == w[i, targets_arr]
+        on_path[i, :] = False
+        on_path[targets_arr, np.arange(len(targets_arr))] = False
+        # witness: a clocking pair (i, x) or (x, target) at vertex x.
+        prefix_witness = exceeding[i, :, np.newaxis] & on_path
+        suffix_witness = exceeding[:, targets_arr] & on_path
+        redundant = (prefix_witness | suffix_witness).any(axis=0)
+        for jt, j in enumerate(targets):
+            if not redundant[jt]:
+                kept.append((i, j))
+    return kept
+
+
+def build_constraint_system(
+    graph: CircuitGraph,
+    wd: WDMatrices,
+    period: Optional[float],
+    prune: bool = False,
+) -> ConstraintSystem:
+    """Assemble edge + host (+ clocking, if a period is given) constraints."""
+    constraints = edge_constraints(graph) + host_constraints(graph)
+    if period is not None:
+        constraints += clock_constraints(graph, wd, period, prune=prune)
+    return ConstraintSystem(constraints=constraints, period=period)

@@ -1,0 +1,145 @@
+"""Interconnect-unit expansion (Section 3.2 of the paper).
+
+Traditional retiming sees only functional units; to let retiming move
+flip-flops *into wires*, each routed and buffered global connection is
+expanded into a chain of fixed-delay **interconnect units**::
+
+    u ──w(e)──> I1 ──0──> I2 ──0──> ... ──0──> Ik ──0──> v
+
+* ``Ij`` models segment ``j`` of the buffered route: a repeater plus
+  the wire it drives (the first segment is driven by ``u`` itself);
+* unit ``Ij`` is located at the segment's driving end, so a flip-flop
+  retimed onto the edge out of ``Ij`` lands in that tile (the paper's
+  ``P(ff) = tile of fanin unit`` convention);
+* the original edge weight rides on the first sub-edge, keeping
+  existing flip-flops in the driver's block until retiming moves them.
+
+The expansion records a ``unit -> capacity region`` map covering both
+logic units (their block / tile) and the new interconnect units, which
+is what the local area constraints of LAC-retiming are written over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.floorplan.plan import Floorplan
+from repro.netlist.graph import INTERCONNECT, CircuitGraph
+from repro.repeater.insertion import BufferedConnection
+from repro.route.router import pin_cell
+from repro.tiles.grid import TileGrid
+
+#: Region name used for host vertices (chip I/O boundary). It has
+#: unbounded capacity: the environment absorbs boundary registers.
+IO_REGION = "__io__"
+
+
+@dataclasses.dataclass
+class ExpandedCircuit:
+    """A retiming graph with interconnect units plus placement maps."""
+
+    graph: CircuitGraph
+    unit_region: Dict[str, str]
+    #: interconnect unit -> (driver, sink, segment index) provenance
+    unit_provenance: Dict[str, Tuple[str, str, int]]
+    n_connections_expanded: int
+
+    def interconnect_unit_count(self) -> int:
+        return len(self.unit_provenance)
+
+
+def expand_interconnects(
+    graph: CircuitGraph,
+    buffered: Mapping[Tuple[str, str], BufferedConnection],
+    grid: TileGrid,
+    plan: Floorplan,
+    jitter_seed: int = 0,
+    max_units_per_connection: Optional[int] = None,
+) -> ExpandedCircuit:
+    """Expand every buffered connection of ``graph`` into unit chains.
+
+    Args:
+        graph: The original (logic-level) retiming graph.
+        buffered: Repeater-planning results keyed by ``(driver, sink)``;
+            connections without an entry are kept as direct edges
+            (intra-block wiring).
+        grid: Tile grid (for region lookup).
+        plan: Floorplan (for logic-unit pin positions).
+        jitter_seed: Must match the seed used for routing pins so that
+            logic units land in the same tiles the router used.
+        max_units_per_connection: Optional coarsening: merge adjacent
+            segments so a chain has at most this many units (delays
+            add; tile assignment follows the first merged segment).
+            ``None`` keeps one unit per repeater segment.
+
+    Returns:
+        An :class:`ExpandedCircuit`; the input graph is not modified.
+    """
+    out = CircuitGraph(f"{graph.name}_expanded")
+    unit_region: Dict[str, str] = {}
+    provenance: Dict[str, Tuple[str, str, int]] = {}
+
+    hosts = set(graph.host_units())
+    for unit in graph.units():
+        out.add_unit(
+            unit,
+            delay=graph.delay(unit),
+            area=graph.area(unit),
+            kind=graph.kind(unit),
+        )
+        if unit in hosts:
+            unit_region[unit] = IO_REGION
+        else:
+            cell = pin_cell(grid, plan, unit, jitter_seed)
+            unit_region[unit] = grid.region_of_cell[cell]
+
+    expanded = 0
+    for (u, v, key), w in graph.connections():
+        conn = buffered.get((u, v))
+        if conn is None or not conn.segments or conn.length_mm == 0.0:
+            out.add_connection(u, v, weight=w)
+            continue
+        segments = _maybe_merge(conn.segments, max_units_per_connection)
+        expanded += 1
+        prev = u
+        for j, seg in enumerate(segments):
+            name = f"iu[{u}->{v}#{key}.{j}]"
+            out.add_unit(name, delay=seg.delay_ns, area=0.0, kind=INTERCONNECT)
+            unit_region[name] = grid.region_of_cell[seg.start_cell]
+            provenance[name] = (u, v, j)
+            out.add_connection(prev, name, weight=w if prev == u else 0)
+            prev = name
+        out.add_connection(prev, v, weight=0)
+
+    out.validate()
+    return ExpandedCircuit(
+        graph=out,
+        unit_region=unit_region,
+        unit_provenance=provenance,
+        n_connections_expanded=expanded,
+    )
+
+
+def _maybe_merge(segments, max_units: Optional[int]):
+    """Merge adjacent segments to cap chain length (delays add)."""
+    if max_units is None or len(segments) <= max_units:
+        return list(segments)
+    import math
+
+    from repro.repeater.insertion import Segment
+
+    group = math.ceil(len(segments) / max_units)
+    merged: List[Segment] = []
+    for i in range(0, len(segments), group):
+        chunk = segments[i : i + group]
+        merged.append(
+            Segment(
+                start_cell=chunk[0].start_cell,
+                end_cell=chunk[-1].end_cell,
+                length_mm=sum(s.length_mm for s in chunk),
+                delay_ns=sum(s.delay_ns for s in chunk),
+                driven_by_repeater=chunk[0].driven_by_repeater,
+            )
+        )
+    return merged

@@ -1,0 +1,133 @@
+"""Vectorised feasibility checking for period probes.
+
+Minimum-period retiming probes many candidate periods; building a
+:class:`~repro.retime.constraints.Constraint` object per clocking pair
+(up to O(V^2) of them) per probe dominates runtime. This module keeps
+everything in numpy arrays:
+
+* the static arrays (edge constraints, host-equality constraints) are
+  extracted once per graph;
+* per probe, the clocking pairs ``D > T`` are masked directly out of
+  the W/D matrices;
+* feasibility is decided by a vectorised Bellman–Ford on the
+  difference-constraint graph (``r(u) - r(v) <= b`` becomes arc
+  ``v -> u`` with weight ``b``; distances from an implicit all-zero
+  source satisfy every constraint iff no negative cycle exists).
+
+The result is exact for the split-host semantics — identical to
+:func:`repro.retime.minperiod.is_feasible_period`, which the test
+suite cross-checks — at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import NegativeCycleError, bellman_ford
+
+from repro.netlist.graph import CircuitGraph
+from repro.retime.wd import WDMatrices
+
+
+@dataclasses.dataclass
+class FeasibilityChecker:
+    """Reusable per-graph state for fast period-feasibility probes."""
+
+    wd: WDMatrices
+    static_u: np.ndarray  # constraint r(u) - r(v) <= b ...
+    static_v: np.ndarray
+    static_b: np.ndarray
+    n: int
+
+    @classmethod
+    def build(cls, graph: CircuitGraph, wd: WDMatrices) -> "FeasibilityChecker":
+        index = wd.index
+        best: Dict[Tuple[int, int], int] = {}
+        for (u, v, _k), w in graph.connections():
+            pair = (index[u], index[v])
+            if pair not in best or w < best[pair]:
+                best[pair] = w
+        hosts = [index[h] for h in graph.host_units()]
+        extra: List[Tuple[int, int, int]] = []
+        for a, b in zip(hosts, hosts[1:]):
+            extra.append((a, b, 0))
+            extra.append((b, a, 0))
+        u_arr = np.array(
+            [p[0] for p in best] + [e[0] for e in extra], dtype=np.int64
+        )
+        v_arr = np.array(
+            [p[1] for p in best] + [e[1] for e in extra], dtype=np.int64
+        )
+        b_arr = np.array(
+            list(best.values()) + [e[2] for e in extra], dtype=np.int64
+        )
+        return cls(wd=wd, static_u=u_arr, static_v=v_arr, static_b=b_arr, n=len(index))
+
+    # ------------------------------------------------------------------
+    def _probe_arrays(
+        self, period: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        mask = np.isfinite(self.wd.d) & (self.wd.d > period)
+        np.fill_diagonal(mask, False)
+        rows, cols = np.nonzero(mask)
+        bounds = self.wd.w[rows, cols].astype(np.int64) - 1
+        u = np.concatenate([self.static_u, rows])
+        v = np.concatenate([self.static_v, cols])
+        b = np.concatenate([self.static_b, bounds])
+        return u, v, b
+
+    def check(self, period: float) -> Optional[np.ndarray]:
+        """Integer labels (indexed like ``wd.order``) or ``None``.
+
+        A single unit whose delay already exceeds the period is an
+        immediate reject. The Bellman–Ford run itself is delegated to
+        scipy's compiled implementation: constraint ``r(u) - r(v) <= b``
+        is arc ``v -> u`` with weight ``b``; a virtual source with
+        zero-weight arcs to every vertex makes distances a solution,
+        and a negative cycle means infeasible.
+        """
+        if self.wd.max_vertex_delay() > period:
+            return None
+        u, v, b = self._probe_arrays(period)
+        # Deduplicate arcs keeping the tightest bound (csr construction
+        # would otherwise *sum* duplicate entries).
+        key = v * self.n + u
+        order = np.lexsort((b, key))
+        key_sorted = key[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = key_sorted[1:] != key_sorted[:-1]
+        sel = order[first]
+        rows = v[sel] + 1  # shift by one: row 0 is the virtual source
+        cols = u[sel] + 1
+        data = b[sel].astype(np.float64)
+        src_rows = np.zeros(self.n, dtype=np.int64)
+        src_cols = np.arange(1, self.n + 1, dtype=np.int64)
+        matrix = csr_matrix(
+            (
+                np.concatenate([data, np.zeros(self.n)]),
+                (
+                    np.concatenate([rows, src_rows]),
+                    np.concatenate([cols, src_cols]),
+                ),
+            ),
+            shape=(self.n + 1, self.n + 1),
+        )
+        try:
+            dist = bellman_ford(matrix, directed=True, indices=0)
+        except NegativeCycleError:
+            return None
+        return dist[1:].astype(np.int64)
+
+    def labels(self, period: float) -> Optional[Dict[str, int]]:
+        """Like :meth:`check` but mapped back to unit names.
+
+        Labels are raw Bellman–Ford potentials; callers normalise hosts
+        to 0 with :func:`repro.retime.minarea.normalise_labels`.
+        """
+        dist = self.check(period)
+        if dist is None:
+            return None
+        return {v: int(dist[i]) for v, i in self.wd.index.items()}

@@ -1,0 +1,253 @@
+"""Minimum-cost flow via successive shortest paths (from scratch).
+
+The retiming LP dual (:mod:`repro.retime.flow`) needs a min-cost-flow
+solver; this module provides one that does not depend on networkx,
+implementing the classic *successive shortest augmenting path*
+algorithm with Johnson potentials:
+
+1. initial potentials by Bellman–Ford over all arcs (costs may be
+   negative; a negative cycle means the problem is unbounded, i.e. the
+   primal retiming constraints are infeasible);
+2. repeatedly route flow from an excess node to a deficit node along a
+   shortest path under *reduced* costs (all non-negative, so Dijkstra
+   applies), augmenting by the bottleneck amount;
+3. potentials are updated with the Dijkstra distances after every
+   augmentation, keeping reduced costs non-negative.
+
+Arc capacities here are conceptually infinite (retiming's dual has no
+capacities); they are capped at the total supply, which some optimal
+solution never exceeds, preserving optimality while keeping the
+algorithm finite. With integer demands and costs the result is
+integral.
+
+The solver returns both the flow and the final potentials; for the
+retiming dual the potentials directly provide optimal labels
+(complementary slackness), so no residual-graph post-pass is needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import InfeasibleConstraintsError, UnboundedObjectiveError
+
+Node = Hashable
+
+_INF = float("inf")
+
+
+@dataclasses.dataclass
+class _Arc:
+    """One directed arc and its residual twin, stored forward-only."""
+
+    head: int  # target node index
+    cost: float
+    cap: float
+    flow: float = 0.0
+
+    @property
+    def residual(self) -> float:
+        return self.cap - self.flow
+
+
+class MinCostFlow:
+    """A min-cost-flow instance over hashable node ids."""
+
+    def __init__(self):
+        self._index: Dict[Node, int] = {}
+        self._nodes: List[Node] = []
+        self._demand: List[float] = []
+        # adjacency: per node, list of (arc_id); arcs stored in pairs
+        # (forward at even ids, backward residual at odd ids).
+        self._adj: List[List[int]] = []
+        self._arcs: List[_Arc] = []
+
+    # ------------------------------------------------------------------
+    def _node(self, name: Node) -> int:
+        if name not in self._index:
+            self._index[name] = len(self._nodes)
+            self._nodes.append(name)
+            self._demand.append(0.0)
+            self._adj.append([])
+        return self._index[name]
+
+    def add_node(self, name: Node, demand: float = 0.0) -> None:
+        """Declare ``name`` with ``demand`` (> 0 wants inflow)."""
+        i = self._node(name)
+        self._demand[i] += demand
+
+    def add_arc(self, u: Node, v: Node, cost: float) -> None:
+        """Directed arc ``u -> v`` with unlimited capacity and ``cost``."""
+        ui, vi = self._node(u), self._node(v)
+        self._adj[ui].append(len(self._arcs))
+        self._arcs.append(_Arc(head=vi, cost=cost, cap=_INF))
+        self._adj[vi].append(len(self._arcs))
+        self._arcs.append(_Arc(head=ui, cost=-cost, cap=0.0))
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Tuple[float, Dict[Node, float]]:
+        """Run successive shortest paths.
+
+        Returns ``(total_cost, potentials)`` where potentials are the
+        shortest-path node potentials at optimality.
+
+        Raises:
+            UnboundedObjectiveError: demands cannot be satisfied
+                (excess cannot reach deficit).
+            InfeasibleConstraintsError: a negative-cost cycle with
+                unbounded capacity exists.
+        """
+        n = len(self._nodes)
+        total_supply = sum(-d for d in self._demand if d < 0)
+        if abs(sum(self._demand)) > 1e-9:
+            raise ValueError("demands must sum to zero")
+        # Cap "infinite" arcs just above the total supply: cumulative
+        # flow on any arc never exceeds the total supply, so the cap is
+        # never binding (forward arcs stay residual, which is what the
+        # potential-based optimality argument needs).
+        for arc_id in range(0, len(self._arcs), 2):
+            self._arcs[arc_id].cap = 2.0 * total_supply + 1.0
+
+        potential = self._bellman_ford_potentials()
+
+        excess = [-d for d in self._demand]  # >0: has supply to send
+        cost_total = 0.0
+        while True:
+            sources = [i for i in range(n) if excess[i] > 1e-9]
+            if not sources:
+                break
+            src = sources[0]
+            dist, parent_arc = self._dijkstra(src, potential)
+            target = self._pick_deficit(dist, excess)
+            if target is None:
+                raise UnboundedObjectiveError(
+                    "excess supply cannot reach any deficit node"
+                )
+            # augment along the path by the bottleneck
+            bottleneck = excess[src]
+            i = target
+            while i != src:
+                arc = self._arcs[parent_arc[i]]
+                bottleneck = min(bottleneck, arc.residual)
+                i = self._tail(parent_arc[i])
+            bottleneck = min(bottleneck, -excess[target])
+            i = target
+            while i != src:
+                arc_id = parent_arc[i]
+                self._arcs[arc_id].flow += bottleneck
+                self._arcs[arc_id ^ 1].flow -= bottleneck
+                cost_total += bottleneck * self._arcs[arc_id].cost
+                i = self._tail(arc_id)
+            excess[src] -= bottleneck
+            excess[target] += bottleneck
+            # Johnson update keeps reduced costs non-negative; clamping
+            # at the target's distance handles nodes the search never
+            # reached (the standard successive-shortest-path variant).
+            d_target = dist[target]
+            for i in range(n):
+                potential[i] += min(dist[i], d_target)
+        potentials = {self._nodes[i]: potential[i] for i in range(n)}
+        return cost_total, potentials
+
+    def flow_on(self, u: Node, v: Node) -> float:
+        """Total flow currently routed on arcs ``u -> v``."""
+        ui = self._index.get(u)
+        vi = self._index.get(v)
+        if ui is None or vi is None:
+            return 0.0
+        total = 0.0
+        for arc_id in self._adj[ui]:
+            if arc_id % 2 == 0 and self._arcs[arc_id].head == vi:
+                total += self._arcs[arc_id].flow
+        return total
+
+    # ------------------------------------------------------------------
+    def _tail(self, arc_id: int) -> int:
+        """Tail node of an arc = head of its residual twin."""
+        return self._arcs[arc_id ^ 1].head
+
+    def _bellman_ford_potentials(self) -> List[float]:
+        n = len(self._nodes)
+        potential = [0.0] * n  # virtual source to all nodes at 0
+        for round_no in range(n + 1):
+            changed = False
+            for arc_id in range(0, len(self._arcs), 2):
+                arc = self._arcs[arc_id]
+                if arc.residual <= 0:
+                    continue
+                u = self._tail(arc_id)
+                if potential[u] + arc.cost < potential[arc.head] - 1e-12:
+                    potential[arc.head] = potential[u] + arc.cost
+                    changed = True
+            if not changed:
+                return potential
+        raise InfeasibleConstraintsError(
+            "negative-cost cycle (primal constraints infeasible)"
+        )
+
+    def _dijkstra(
+        self, src: int, potential: List[float]
+    ) -> Tuple[List[float], List[int]]:
+        n = len(self._nodes)
+        dist = [_INF] * n
+        parent_arc = [-1] * n
+        dist[src] = 0.0
+        heap = [(0.0, src)]
+        done = [False] * n
+        while heap:
+            d, u = heapq.heappop(heap)
+            if done[u]:
+                continue
+            done[u] = True
+            for arc_id in self._adj[u]:
+                arc = self._arcs[arc_id]
+                if arc.residual <= 1e-12:
+                    continue
+                v = arc.head
+                reduced = arc.cost + potential[u] - potential[v]
+                nd = d + reduced
+                if nd < dist[v] - 1e-12:
+                    dist[v] = nd
+                    parent_arc[v] = arc_id
+                    heapq.heappush(heap, (nd, v))
+        return dist, parent_arc
+
+    def _pick_deficit(
+        self, dist: List[float], excess: List[float]
+    ) -> Optional[int]:
+        best = None
+        for i, d in enumerate(dist):
+            if excess[i] < -1e-9 and d < _INF:
+                if best is None or d < dist[best]:
+                    best = i
+        return best
+
+
+def solve_retiming_dual(
+    constraints: Sequence, objective: Mapping[Node, float]
+) -> Dict[Node, int]:
+    """Solve the retiming LP with the in-house solver.
+
+    Same contract as :func:`repro.retime.flow.optimal_labels` (see
+    there for the duality derivation): node demand ``c_v``, one arc per
+    constraint with cost = bound, optimal labels = ``-potential``.
+    """
+    mcf = MinCostFlow()
+    for node, coeff in objective.items():
+        mcf.add_node(node, demand=float(int(round(coeff))))
+    best: Dict[Tuple[Node, Node], float] = {}
+    for c in constraints:
+        key = (c.u, c.v)
+        if key not in best or c.bound < best[key]:
+            best[key] = c.bound
+    for (u, v), bound in best.items():
+        mcf.add_node(u)
+        mcf.add_node(v)
+        mcf.add_arc(u, v, float(bound))
+    try:
+        _cost, potentials = mcf.solve()
+    except UnboundedObjectiveError:
+        raise
+    return {node: -int(round(p)) for node, p in potentials.items()}

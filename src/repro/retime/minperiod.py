@@ -1,0 +1,109 @@
+"""Minimum-period retiming: binary search over candidate periods.
+
+A classic Leiserson–Saxe result: the minimum achievable clock period is
+always one of the finitely many distinct ``D(u, v)`` values, and a
+period ``T`` is achievable iff the edge + clocking difference
+constraints for ``T`` are satisfiable. Feasibility probes run on the
+vectorised Bellman–Ford checker (:mod:`repro.retime.fastcheck`); the
+constraint-object route (:func:`is_feasible_period` with
+``use_fast=False``) is kept as the auditable reference and is
+cross-checked by the test suite.
+
+The paper uses min-period retiming to establish ``T_min``, then sets
+``T_clk`` 20% of the way from ``T_min`` up to ``T_init``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InfeasiblePeriodError, RetimingError
+from repro.netlist.graph import CircuitGraph
+from repro.retime.constraints import build_constraint_system
+from repro.retime.fastcheck import FeasibilityChecker
+from repro.retime.flow import feasible_labels
+from repro.retime.minarea import RetimingResult, normalise_labels
+from repro.retime.wd import WDMatrices, candidate_periods, wd_matrices
+
+
+def clock_period(graph: CircuitGraph, wd: Optional[WDMatrices] = None) -> float:
+    """Current clock period: the longest register-free path delay.
+
+    Computed as the maximum ``D(u, v)`` over pairs with
+    ``W(u, v) == 0`` (plus single-vertex delays on the diagonal).
+    """
+    if wd is None:
+        wd = wd_matrices(graph)
+    zero_weight = np.isfinite(wd.w) & (wd.w == 0)
+    if not zero_weight.any():
+        return wd.max_vertex_delay()
+    return float(wd.d[zero_weight].max())
+
+
+def is_feasible_period(
+    graph: CircuitGraph,
+    period: float,
+    wd: Optional[WDMatrices] = None,
+    use_fast: bool = True,
+) -> Optional[Dict[str, int]]:
+    """Labels achieving ``period`` (hosts normalised to 0), or ``None``."""
+    if wd is None:
+        wd = wd_matrices(graph)
+    if wd.max_vertex_delay() > period:
+        return None
+    if use_fast:
+        labels = FeasibilityChecker.build(graph, wd).labels(period)
+    else:
+        try:
+            system = build_constraint_system(graph, wd, period, prune=False)
+        except InfeasiblePeriodError:
+            return None
+        labels = feasible_labels(system.constraints)
+    if labels is None:
+        return None
+    labels = {v: labels.get(v, 0) for v in graph.units()}
+    return normalise_labels(graph, labels)
+
+
+def min_period_retiming(
+    graph: CircuitGraph,
+    wd: Optional[WDMatrices] = None,
+) -> Tuple[float, RetimingResult]:
+    """Find the minimum feasible period and a retiming achieving it.
+
+    Returns ``(T_min, result)``; binary-searches the sorted distinct
+    ``D`` values with the vectorised feasibility checker.
+    """
+    if wd is None:
+        wd = wd_matrices(graph)
+    candidates = candidate_periods(wd)
+    if not candidates:
+        raise RetimingError("graph has no paths; period undefined")
+
+    checker = FeasibilityChecker.build(graph, wd)
+    lo, hi = 0, len(candidates) - 1
+    if (labels := checker.labels(candidates[hi])) is None:
+        raise InfeasiblePeriodError(
+            candidates[hi], "even the largest candidate period is infeasible"
+        )
+    best = (candidates[hi], labels)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        labels = checker.labels(candidates[mid])
+        if labels is not None:
+            best = (candidates[mid], labels)
+            hi = mid
+        else:
+            lo = mid + 1
+    period, labels = best
+    labels = normalise_labels(graph, {v: labels.get(v, 0) for v in graph.units()})
+    retimed = graph.retimed(labels)
+    result = RetimingResult(
+        labels=labels,
+        graph=retimed,
+        period=period,
+        total_ffs=retimed.total_flip_flops(),
+    )
+    return period, result

@@ -1,0 +1,110 @@
+"""Min-area retiming with fanout register sharing (Leiserson & Saxe §8).
+
+The paper (like Eqn. (3)) counts flip-flops per *edge*:
+``N = sum_e w_r(e)``. In real netlists, the registers on all fanouts of
+one driver share storage: delaying every fanout of ``u`` by one cycle
+needs *one* register, not ``|FO(u)|``. The shared count is
+
+    N_share = sum_u max_{v in FO(u)} w_r(u, v)
+
+(as materialised by the per-driver DFF chains of
+:mod:`repro.netlist.retime_bench`). Minimising it is still an LP over
+difference constraints: introduce one auxiliary variable ``z_u`` per
+multi-fanout driver with
+
+    z_u >= w(u, v) + r(v)      for every fanout v
+    (i.e.  r(v) - z_u <= -w(u, v))
+
+and the shared register count of ``u`` becomes ``z_u - r(u)``. The
+objective ``sum_u A(u) * (z_u - r(u))`` plus the ordinary terms for
+single-fanout drivers drops straight into the same min-cost-flow dual
+as classic min-area retiming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import InfeasibleConstraintsError, InfeasiblePeriodError
+from repro.netlist.graph import CircuitGraph
+from repro.retime.constraints import Constraint, ConstraintSystem, build_constraint_system
+from repro.retime.flow import optimal_labels
+from repro.retime.minarea import (
+    WEIGHT_SCALE,
+    RetimingResult,
+    normalise_labels,
+)
+from repro.retime.wd import WDMatrices, wd_matrices
+
+
+def shared_register_count(graph: CircuitGraph) -> int:
+    """``sum_u max_v w(u, v)`` — registers under fanout sharing."""
+    per_driver: Dict[str, int] = {}
+    for (u, _v, _k), w in graph.connections():
+        per_driver[u] = max(per_driver.get(u, 0), w)
+    return sum(per_driver.values())
+
+
+def _aux_name(unit: str) -> str:
+    return f"__share[{unit}]"
+
+
+def min_area_retiming_shared(
+    graph: CircuitGraph,
+    period: float,
+    weights: Optional[Mapping[str, float]] = None,
+    wd: Optional[WDMatrices] = None,
+    system: Optional[ConstraintSystem] = None,
+    prune: bool = False,
+) -> RetimingResult:
+    """Minimum *shared* register count retiming at ``period``.
+
+    Same contract as :func:`repro.retime.minarea.min_area_retiming`;
+    the result's ``total_ffs`` still reports the per-edge count of the
+    retimed graph, while :func:`shared_register_count` gives the shared
+    total the objective actually minimised.
+    """
+    if system is None:
+        if wd is None:
+            wd = wd_matrices(graph)
+        system = build_constraint_system(graph, wd, period, prune=prune)
+
+    if weights is None:
+        scaled = {v: 1 for v in graph.units()}
+    else:
+        scaled = {
+            v: max(1, int(round(weights.get(v, 1.0) * WEIGHT_SCALE)))
+            for v in graph.units()
+        }
+
+    # Group fanout edges per driver (min weight per (u, v) pair is not
+    # enough here: every parallel edge constrains z_u, but the max is
+    # what matters, so keeping the max bound per (u, v) suffices).
+    fanouts: Dict[str, Dict[str, int]] = {}
+    for (u, v, _k), w in graph.connections():
+        slot = fanouts.setdefault(u, {})
+        slot[v] = max(slot.get(v, 0), w)
+
+    extra: List[Constraint] = []
+    objective: Dict[str, int] = {v: 0 for v in graph.units()}
+    for u, sinks in fanouts.items():
+        aux = _aux_name(u)
+        objective[aux] = scaled[u]  # + A(u) * z_u
+        objective[u] -= scaled[u]  # - A(u) * r(u)
+        for v, w in sinks.items():
+            extra.append(Constraint(v, aux, -w, "share"))
+
+    constraints = list(system.constraints) + extra
+    try:
+        labels = optimal_labels(constraints, objective)
+    except InfeasibleConstraintsError as exc:
+        raise InfeasiblePeriodError(period, str(exc)) from exc
+    r_labels = {v: labels.get(v, 0) for v in graph.units()}
+    r_labels = normalise_labels(graph, r_labels)
+    retimed = graph.retimed(r_labels)
+    return RetimingResult(
+        labels=r_labels,
+        graph=retimed,
+        period=period,
+        total_ffs=retimed.total_flip_flops(),
+    )

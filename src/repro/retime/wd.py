@@ -1,0 +1,160 @@
+"""W and D matrices for retiming (Leiserson & Saxe).
+
+For vertices ``u, v``:
+
+* ``W(u, v)`` — the minimum number of flip-flops on any path from ``u``
+  to ``v``;
+* ``D(u, v)`` — the maximum total vertex delay (both endpoints
+  included) over paths from ``u`` to ``v`` whose weight is ``W(u, v)``.
+
+Both reduce to a lexicographic shortest-path problem with edge cost
+``(w(e), -d(u))``. Two implementations are provided and cross-checked
+by the test suite:
+
+* :func:`wd_matrices_reference` — pure-Python Bellman–Ford over tuple
+  costs; easy to audit, used on small graphs;
+* :func:`wd_matrices` — the fast path: the tuple is scalarised as
+  ``w(e) * B - d(u)`` with ``B`` greater than the total circuit delay,
+  and solved with :func:`scipy.sparse.csgraph.johnson` (compiled).
+  ``W = ceil(dist / B)`` and ``D = d(v) + (W * B - dist)`` decode the
+  two components.
+
+Both require every cycle to carry at least one flip-flop (checked by
+:meth:`CircuitGraph.validate`); otherwise the scalarised graph has a
+negative cycle and the matrices are undefined.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import NegativeCycleError, johnson
+
+from repro.errors import RetimingError
+from repro.netlist.graph import CircuitGraph
+
+#: Decode tolerance for the ceil() of scalarised distances.
+_DECODE_EPS = 1e-9
+
+
+@dataclasses.dataclass
+class WDMatrices:
+    """Dense W/D matrices plus the vertex index that defines their axes.
+
+    ``w[i, j]`` is ``W(order[i], order[j])`` and ``inf`` where no path
+    exists; likewise for ``d``. Diagonals are ``W(v, v) = 0`` and
+    ``D(v, v) = delay(v)`` (the empty path).
+    """
+
+    order: List[str]
+    index: Dict[str, int]
+    w: np.ndarray
+    d: np.ndarray
+
+    def pairs_exceeding(self, period: float) -> List[Tuple[int, int]]:
+        """Index pairs ``(i, j)``, ``i != j``, with ``D > period``."""
+        mask = np.isfinite(self.d) & (self.d > period)
+        np.fill_diagonal(mask, False)
+        rows, cols = np.nonzero(mask)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def max_vertex_delay(self) -> float:
+        return float(np.diag(self.d).max()) if len(self.order) else 0.0
+
+
+def _scalarised_csr(graph: CircuitGraph, order: List[str]) -> Tuple[csr_matrix, float]:
+    """Build the scalarised cost matrix and return it with the base B."""
+    index = {v: i for i, v in enumerate(order)}
+    base = graph.total_delay() + 1.0
+    best: Dict[Tuple[int, int], float] = {}
+    for (u, v, _key), w in graph.connections():
+        cost = w * base - graph.delay(u)
+        pair = (index[u], index[v])
+        if pair not in best or cost < best[pair]:
+            best[pair] = cost
+    n = len(order)
+    if best:
+        pairs = np.array(list(best.keys()), dtype=np.int64)
+        data = np.array(list(best.values()), dtype=np.float64)
+        matrix = csr_matrix((data, (pairs[:, 0], pairs[:, 1])), shape=(n, n))
+    else:
+        matrix = csr_matrix((n, n), dtype=np.float64)
+    return matrix, base
+
+
+def wd_matrices(graph: CircuitGraph) -> WDMatrices:
+    """Compute W/D with the scalarised Johnson algorithm (fast path)."""
+    order = list(graph.units())
+    n = len(order)
+    matrix, base = _scalarised_csr(graph, order)
+    try:
+        dist = johnson(matrix, directed=True)
+    except NegativeCycleError as exc:
+        raise RetimingError(
+            "graph has a zero-weight cycle; W/D matrices undefined"
+        ) from exc
+
+    reachable = np.isfinite(dist)
+    w = np.full((n, n), np.inf)
+    d = np.full((n, n), np.inf)
+    with np.errstate(invalid="ignore"):
+        w_vals = np.ceil(dist / base - _DECODE_EPS)
+    delays = np.array([graph.delay(v) for v in order])
+    w[reachable] = w_vals[reachable]
+    with np.errstate(invalid="ignore"):
+        slack = w_vals * base - dist
+        d_full = slack + delays[np.newaxis, :]
+    d[reachable] = d_full[reachable]
+    # Johnson reports dist(v, v) = 0: the empty path. Decoded that gives
+    # W = 0 and D = d(v), which is exactly the convention we document.
+    index = {v: i for i, v in enumerate(order)}
+    return WDMatrices(order=order, index=index, w=w, d=d)
+
+
+def wd_matrices_reference(graph: CircuitGraph) -> WDMatrices:
+    """Pure-Python tuple Bellman–Ford (reference implementation)."""
+    order = list(graph.units())
+    index = {v: i for i, v in enumerate(order)}
+    n = len(order)
+    simple = graph.simple_min_weight_digraph()
+    inf = math.inf
+    w = np.full((n, n), np.inf)
+    d = np.full((n, n), np.inf)
+
+    arcs = [
+        (index[u], index[v], wt, graph.delay(u))
+        for u, v, wt in simple.edges(data="weight")
+    ]
+    for src_i in range(n):
+        dist: List[Tuple[float, float]] = [(inf, inf)] * n
+        dist[src_i] = (0.0, 0.0)
+        for _iteration in range(n + 1):
+            changed = False
+            for ui, vi, wt, du in arcs:
+                if dist[ui][0] == inf:
+                    continue
+                cand = (dist[ui][0] + wt, dist[ui][1] - du)
+                if cand < dist[vi]:
+                    dist[vi] = cand
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise RetimingError("zero-weight cycle: W/D undefined")
+        for vi in range(n):
+            if math.isfinite(dist[vi][0]):
+                w[src_i, vi] = dist[vi][0]
+                d[src_i, vi] = graph.delay(order[vi]) - dist[vi][1]
+    return WDMatrices(order=order, index=index, w=w, d=d)
+
+
+def candidate_periods(wd: WDMatrices) -> List[float]:
+    """Sorted distinct finite D values — the binary-search domain for
+    minimum-period retiming (the optimum period is always one of them).
+    """
+    finite = wd.d[np.isfinite(wd.d)]
+    return sorted(set(float(x) for x in finite))

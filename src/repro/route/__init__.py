@@ -1,0 +1,31 @@
+"""Global routing: Steiner trees + congestion-aware maze routing."""
+
+from repro.route.router import (
+    GlobalRouter,
+    Net,
+    RoutedNet,
+    nets_from_graph,
+    pin_cell,
+)
+from repro.route.steiner import (
+    hanan_points,
+    manhattan,
+    spanning_tree,
+    steiner_tree,
+    tree_length,
+    tree_paths,
+)
+
+__all__ = [
+    "GlobalRouter",
+    "Net",
+    "RoutedNet",
+    "nets_from_graph",
+    "pin_cell",
+    "steiner_tree",
+    "spanning_tree",
+    "tree_length",
+    "tree_paths",
+    "hanan_points",
+    "manhattan",
+]

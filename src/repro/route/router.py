@@ -1,0 +1,238 @@
+"""Congestion-aware tile-graph global router with rip-up & re-route.
+
+For each inter-block net a Steiner topology is built over the pin
+cells; every tree edge is then embedded into the tile lattice by a
+Dijkstra maze router whose arc cost grows with tile congestion
+(PathFinder-style present + history costs). A small number of rip-up &
+re-route passes moves wires out of overfull tiles, matching the paper's
+"rip-up and re-routing to reduce routing congestion".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import random
+import zlib
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.floorplan.plan import Floorplan
+from repro.netlist.graph import CircuitGraph
+from repro.route.steiner import steiner_tree, tree_paths
+from repro.tiles.grid import CHANNEL, HARD, SOFT, Cell, TileGrid
+
+#: Routing track capacity of one lattice cell, by region kind.
+TRACKS = {CHANNEL: 12, SOFT: 6, HARD: 3}
+
+
+@dataclasses.dataclass
+class Net:
+    """A multi-terminal global net: one driver unit, >= 1 sink units."""
+
+    name: str
+    driver: str
+    sinks: List[str]
+    driver_cell: Cell
+    sink_cells: Dict[str, Cell]
+
+
+@dataclasses.dataclass
+class RoutedNet:
+    """Routing result for one net."""
+
+    net: Net
+    cells: Set[Cell]
+    paths: Dict[str, List[Cell]]  # sink unit -> cell path (driver first)
+
+    @property
+    def wirelength_tiles(self) -> int:
+        return max(0, len(self.cells) - 1)
+
+
+def pin_cell(grid: TileGrid, plan: Floorplan, unit: str, jitter_seed: int = 0) -> Cell:
+    """Deterministic pin position for a unit inside its block.
+
+    Units are not placed yet (this is *early* planning); we spread them
+    pseudo-randomly inside their block so routing and tile accounting
+    see a realistic pin distribution. Units without a block (e.g. the
+    hosts) sit at the chip boundary.
+    """
+    placement = plan.placement_of_unit(unit)
+    # zlib.crc32, not hash(): string hashing is randomised per process
+    # and pin positions must be reproducible across runs.
+    rng = random.Random(zlib.crc32(f"{unit}|{jitter_seed}".encode()))
+    if placement is None:
+        # Host / unplaced: park on the left chip edge, spread vertically.
+        y = rng.uniform(0.0, grid.n_rows * grid.tile_size)
+        return grid.cell_of_point(0.0, y)
+    x = placement.x + rng.uniform(0.15, 0.85) * placement.width
+    y = placement.y + rng.uniform(0.15, 0.85) * placement.height
+    return grid.cell_of_point(x, y)
+
+
+def nets_from_graph(
+    graph: CircuitGraph,
+    grid: TileGrid,
+    plan: Floorplan,
+    include_intra_block: bool = False,
+    jitter_seed: int = 0,
+) -> List[Net]:
+    """Group connections into per-driver nets needing global routing.
+
+    By default only *inter-block* connections are returned — those are
+    the global interconnects the paper plans; intra-block wiring is
+    left to later physical design.
+    """
+    cells: Dict[str, Cell] = {}
+
+    def cell_of(unit: str) -> Cell:
+        if unit not in cells:
+            cells[unit] = pin_cell(grid, plan, unit, jitter_seed)
+        return cells[unit]
+
+    hosts = set(graph.host_units())
+    sinks_of: Dict[str, List[str]] = {}
+    for (u, v, _k), _w in graph.connections():
+        if u in hosts or v in hosts:
+            continue  # I/O pad wiring is outside the planner's scope
+        bu = plan.block_of_unit.get(u)
+        bv = plan.block_of_unit.get(v)
+        crosses = bu != bv
+        if crosses or include_intra_block:
+            sinks_of.setdefault(u, []).append(v)
+
+    nets = []
+    for driver, sinks in sorted(sinks_of.items()):
+        unique_sinks = sorted(set(sinks))
+        nets.append(
+            Net(
+                name=f"n_{driver}",
+                driver=driver,
+                sinks=unique_sinks,
+                driver_cell=cell_of(driver),
+                sink_cells={s: cell_of(s) for s in unique_sinks},
+            )
+        )
+    return nets
+
+
+class GlobalRouter:
+    """PathFinder-lite router over a :class:`TileGrid`."""
+
+    def __init__(self, grid: TileGrid, history_weight: float = 0.5):
+        self.grid = grid
+        self.history_weight = history_weight
+        self.usage: Dict[Cell, int] = {}
+        self.history: Dict[Cell, float] = {}
+
+    # ------------------------------------------------------------------
+    def track_capacity(self, cell: Cell) -> int:
+        region = self.grid.region_of_cell[cell]
+        return TRACKS[self.grid.kind[region]]
+
+    def _cell_cost(self, cell: Cell) -> float:
+        use = self.usage.get(cell, 0)
+        cap = self.track_capacity(cell)
+        present = 1.0 + max(0.0, (use + 1 - cap)) * 2.0
+        return present + self.history_weight * self.history.get(cell, 0.0)
+
+    def _maze_route(self, start: Cell, goal: Cell) -> List[Cell]:
+        """Dijkstra from start to goal over the lattice."""
+        if start == goal:
+            return [start]
+        dist: Dict[Cell, float] = {start: 0.0}
+        prev: Dict[Cell, Cell] = {}
+        heap = [(0.0, start)]
+        seen: Set[Cell] = set()
+        while heap:
+            d, cell = heapq.heappop(heap)
+            if cell in seen:
+                continue
+            if cell == goal:
+                break
+            seen.add(cell)
+            for nxt in self.grid.neighbours(cell):
+                nd = d + self._cell_cost(nxt)
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    prev[nxt] = cell
+                    heapq.heappush(heap, (nd, nxt))
+        if goal not in dist:
+            raise RoutingError(f"no route {start} -> {goal}")
+        path = [goal]
+        while path[-1] != start:
+            path.append(prev[path[-1]])
+        return list(reversed(path))
+
+    # ------------------------------------------------------------------
+    def _embed_net(self, net: Net) -> RoutedNet:
+        pins = [net.driver_cell] + [net.sink_cells[s] for s in net.sinks]
+        topology = steiner_tree(pins)
+        cells: Set[Cell] = set(pins)
+        segment_paths: Dict[Tuple[Cell, Cell], List[Cell]] = {}
+        for a, b in topology:
+            path = self._maze_route(a, b)
+            segment_paths[(a, b)] = path
+            cells.update(path)
+
+        # Per-sink cell path: walk the topology, concatenating embedded
+        # segments (reversing when traversing a tree edge backwards).
+        point_paths = tree_paths(
+            topology, net.driver_cell, list(net.sink_cells.values())
+        )
+        paths: Dict[str, List[Cell]] = {}
+        for sink, pin in net.sink_cells.items():
+            pts = point_paths.get(pin)
+            if pts is None:
+                paths[sink] = [net.driver_cell, pin]
+                continue
+            cell_path: List[Cell] = [net.driver_cell]
+            for a, b in zip(pts, pts[1:]):
+                seg = segment_paths.get((a, b))
+                if seg is None:
+                    seg = list(reversed(segment_paths[(b, a)]))
+                cell_path.extend(seg[1:])
+            paths[sink] = cell_path
+        return RoutedNet(net=net, cells=cells, paths=paths)
+
+    def _commit(self, routed: RoutedNet, sign: int) -> None:
+        for cell in routed.cells:
+            self.usage[cell] = self.usage.get(cell, 0) + sign
+
+    def overflowed_cells(self) -> List[Cell]:
+        return [
+            c for c, use in self.usage.items() if use > self.track_capacity(c)
+        ]
+
+    def route(self, nets: Sequence[Net], rrr_passes: int = 2) -> Dict[str, RoutedNet]:
+        """Route all nets, then rip-up & re-route congested ones."""
+        routed: Dict[str, RoutedNet] = {}
+        for net in nets:
+            result = self._embed_net(net)
+            self._commit(result, +1)
+            routed[net.name] = result
+
+        for _ in range(rrr_passes):
+            hot = set(self.overflowed_cells())
+            if not hot:
+                break
+            for cell in hot:
+                self.history[cell] = self.history.get(cell, 0.0) + 1.0
+            victims = [
+                name for name, r in routed.items() if r.cells & hot
+            ]
+            for name in victims:
+                self._commit(routed[name], -1)
+                result = self._embed_net(routed[name].net)
+                self._commit(result, +1)
+                routed[name] = result
+        return routed
+
+    def congestion_summary(self) -> Dict[str, float]:
+        over = self.overflowed_cells()
+        return {
+            "used_cells": float(len(self.usage)),
+            "overflowed_cells": float(len(over)),
+            "max_usage": float(max(self.usage.values(), default=0)),
+        }

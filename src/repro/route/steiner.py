@@ -1,0 +1,132 @@
+"""Rectilinear Steiner tree construction.
+
+The paper adapts Ho–Vijayan–Wong for Steiner trees; we implement the
+standard practical pipeline: a Prim rectilinear spanning tree over the
+pins followed by iterated 1-Steiner refinement over Hanan grid points
+(each round inserts the single Steiner point that reduces total
+Manhattan length the most). The result is a tree topology over points;
+the global router embeds each tree edge into the tile lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+Point = Tuple[int, int]
+Edge = Tuple[Point, Point]
+
+
+def manhattan(a: Point, b: Point) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def spanning_tree(points: Sequence[Point]) -> List[Edge]:
+    """Prim's algorithm under Manhattan distance. O(n^2)."""
+    pts = list(dict.fromkeys(points))  # dedupe, keep order
+    if len(pts) < 2:
+        return []
+    in_tree = {pts[0]}
+    out = set(pts[1:])
+    edges: List[Edge] = []
+    best_link: Dict[Point, Tuple[int, Point]] = {
+        p: (manhattan(p, pts[0]), pts[0]) for p in out
+    }
+    while out:
+        p = min(out, key=lambda q: best_link[q][0])
+        dist, anchor = best_link[p]
+        edges.append((anchor, p))
+        out.remove(p)
+        in_tree.add(p)
+        for q in out:
+            d = manhattan(q, p)
+            if d < best_link[q][0]:
+                best_link[q] = (d, p)
+    return edges
+
+
+def tree_length(edges: Iterable[Edge]) -> int:
+    return sum(manhattan(a, b) for a, b in edges)
+
+
+def hanan_points(points: Sequence[Point]) -> Set[Point]:
+    xs = {p[0] for p in points}
+    ys = {p[1] for p in points}
+    return {(x, y) for x in xs for y in ys} - set(points)
+
+
+def steiner_tree(points: Sequence[Point], max_rounds: int = 3) -> List[Edge]:
+    """Iterated 1-Steiner heuristic.
+
+    Each round tries every Hanan point of the current terminal set and
+    keeps the one that shortens the spanning tree the most; stops when
+    no point helps or after ``max_rounds``.
+    """
+    terminals = list(dict.fromkeys(points))
+    if len(terminals) < 2:
+        return []
+    edges = spanning_tree(terminals)
+    best_len = tree_length(edges)
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in hanan_points(terminals):
+            trial_edges = spanning_tree(terminals + [candidate])
+            trial_len = tree_length(trial_edges)
+            if trial_len < best_len:
+                best_len = trial_len
+                best_candidate = candidate
+                improved = True
+        if not improved:
+            break
+        terminals.append(best_candidate)
+        edges = spanning_tree(terminals)
+        edges = _prune_leaf_steiner(edges, set(points))
+        best_len = tree_length(edges)
+    return edges
+
+
+def _prune_leaf_steiner(edges: List[Edge], pins: Set[Point]) -> List[Edge]:
+    """Remove degree-1 Steiner points (they only add length)."""
+    edges = list(edges)
+    while True:
+        degree: Dict[Point, int] = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        removable = {
+            p for p, deg in degree.items() if deg == 1 and p not in pins
+        }
+        if not removable:
+            return edges
+        edges = [
+            (a, b) for a, b in edges if a not in removable and b not in removable
+        ]
+
+
+def tree_paths(
+    edges: Sequence[Edge], root: Point, targets: Sequence[Point]
+) -> Dict[Point, List[Point]]:
+    """Per-target point sequence from ``root`` through the tree topology."""
+    adj: Dict[Point, List[Point]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+    parent: Dict[Point, Point] = {root: root}
+    stack = [root]
+    while stack:
+        p = stack.pop()
+        for q in adj.get(p, []):
+            if q not in parent:
+                parent[q] = p
+                stack.append(q)
+    out: Dict[Point, List[Point]] = {}
+    for t in targets:
+        if t == root:
+            out[t] = [root]
+            continue
+        if t not in parent:
+            continue  # disconnected target: caller handles
+        path = [t]
+        while path[-1] != root:
+            path.append(parent[path[-1]])
+        out[t] = list(reversed(path))
+    return out

@@ -1,0 +1,5 @@
+"""Technology constants (wire RC, repeater and flip-flop cells)."""
+
+from repro.tech.params import DEFAULT_TECH, Technology
+
+__all__ = ["Technology", "DEFAULT_TECH"]

@@ -1,0 +1,91 @@
+"""Technology parameters for early interconnect planning.
+
+The paper targets a deep-submicron process where a global wire can take
+multiple clock cycles to traverse. We model the technology with a small
+set of Elmore-model constants (per-unit wire resistance/capacitance,
+repeater and flip-flop cells) bundled in :class:`Technology`.
+
+Geometry note: all distances are expressed in *tile units* (one tile =
+``tile_size`` millimetres); delays in nanoseconds; areas in "unit cells"
+(the area of one flip-flop is ``ff_area`` unit cells).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Electrical and geometric constants used throughout the planner.
+
+    Attributes:
+        r_wire: Wire resistance per millimetre (kilo-ohm / mm).
+        c_wire: Wire capacitance per millimetre (picofarad / mm).
+        repeater_delay: Intrinsic repeater delay (ns).
+        r_repeater: Repeater output resistance (kilo-ohm).
+        c_repeater: Repeater input capacitance (pF).
+        repeater_area: Repeater area in unit cells.
+        ff_delay: Flip-flop clock-to-Q plus setup overhead (ns).
+        ff_area: Flip-flop area in unit cells.
+        tile_size: Edge length of one routing tile (mm).
+        slew_budget: Maximum tolerated transition time (ns); together
+            with the wire constants it determines ``l_max``.
+    """
+
+    r_wire: float = 0.05
+    c_wire: float = 0.08
+    repeater_delay: float = 0.05
+    r_repeater: float = 0.180
+    c_repeater: float = 0.024
+    repeater_area: float = 0.5
+    ff_delay: float = 0.08
+    ff_area: float = 4.0
+    tile_size: float = 4.0
+    slew_budget: float = 1.0
+
+    @property
+    def l_max_mm(self) -> float:
+        """Maximum repeater-to-repeater interval (mm), from the slew budget.
+
+        Following the signal-integrity formulation of Alpert et al. /
+        Dragan et al., the transition time at the end of an unbuffered
+        segment of length ``l`` grows roughly with the segment's
+        intrinsic RC: ``slew ~ ln(9) * r_wire * c_wire * l^2 / 2``. The
+        maximum interval is the ``l`` at which that reaches the slew
+        budget.
+        """
+        rc = self.r_wire * self.c_wire
+        return math.sqrt(2.0 * self.slew_budget / (math.log(9.0) * rc))
+
+    @property
+    def l_max_tiles(self) -> int:
+        """``l_max`` expressed as a whole number of tiles (at least 1)."""
+        return max(1, int(self.l_max_mm / self.tile_size))
+
+    def wire_delay(self, length_mm: float, load_pf: float = 0.0) -> float:
+        """Elmore delay (ns) of a bare wire of ``length_mm`` driving ``load_pf``."""
+        r = self.r_wire * length_mm
+        c = self.c_wire * length_mm
+        return r * (c / 2.0 + load_pf)
+
+    def segment_delay(self, length_mm: float) -> float:
+        """Delay (ns) of one repeater plus the wire segment it drives.
+
+        This is the fixed delay assigned to one *interconnect unit* in
+        the retiming graph (Section 3.2 of the paper): intrinsic
+        repeater delay, plus the repeater driving the segment's
+        capacitance, plus the segment's own Elmore delay into the next
+        repeater's input capacitance.
+        """
+        c_seg = self.c_wire * length_mm
+        r_seg = self.r_wire * length_mm
+        return (
+            self.repeater_delay
+            + self.r_repeater * (c_seg + self.c_repeater)
+            + r_seg * (c_seg / 2.0 + self.c_repeater)
+        )
+
+
+DEFAULT_TECH = Technology()

@@ -1,0 +1,5 @@
+"""Tile graph: layout discretisation and per-tile insertion capacity."""
+
+from repro.tiles.grid import CHANNEL, HARD, SOFT, TileGrid, build_tile_grid
+
+__all__ = ["TileGrid", "build_tile_grid", "CHANNEL", "HARD", "SOFT"]

@@ -1,0 +1,202 @@
+"""The tile graph: layout discretisation with per-tile capacities.
+
+Section 4 of the paper divides the chip into tiles and treats them
+differently:
+
+* tiles over **channel regions / dead areas** have high capacity for
+  repeater and flip-flop insertion;
+* tiles over **hard blocks** have very low capacity (only intentionally
+  pre-allocated repeater/flip-flop sites);
+* all tiles inside one **soft block** are *merged* into a single
+  capacity region whose capacity is the block's outline area minus the
+  area consumed by its functional units.
+
+Two layers coexist here: the regular *lattice* of cells ``(col, row)``
+(geometry: routing, distances, repeater positions) and *capacity
+regions* (area accounting). Every lattice cell maps to exactly one
+region; all cells of a soft block map to the same merged region.
+
+Units: one geometric unit is a millimetre and one unit of cell area is
+one mm^2 of placement fabric (see DESIGN.md); ``Technology.tile_size``
+sets the lattice pitch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.plan import Floorplan
+from repro.tech.params import DEFAULT_TECH, Technology
+
+CHANNEL = "channel"
+HARD = "hard"
+SOFT = "soft"
+
+Cell = Tuple[int, int]
+
+#: Usable fraction of open channel/dead area (routing keeps some).
+CHANNEL_DENSITY = 0.8
+
+
+@dataclasses.dataclass
+class TileGrid:
+    """Lattice + capacity regions for one floorplan."""
+
+    n_cols: int
+    n_rows: int
+    tile_size: float
+    region_of_cell: Dict[Cell, str]
+    kind: Dict[str, str]  # region -> channel | hard | soft
+    capacity: Dict[str, float]
+    used: Dict[str, float]
+    block_region: Dict[str, str]  # soft block name -> merged region id
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def cells(self) -> Iterator[Cell]:
+        for c in range(self.n_cols):
+            for r in range(self.n_rows):
+                yield (c, r)
+
+    def cell_of_point(self, x: float, y: float) -> Cell:
+        c = min(self.n_cols - 1, max(0, int(x / self.tile_size)))
+        r = min(self.n_rows - 1, max(0, int(y / self.tile_size)))
+        return (c, r)
+
+    def center_of_cell(self, cell: Cell) -> Tuple[float, float]:
+        c, r = cell
+        return ((c + 0.5) * self.tile_size, (r + 0.5) * self.tile_size)
+
+    def region_of_point(self, x: float, y: float) -> str:
+        return self.region_of_cell[self.cell_of_point(x, y)]
+
+    def neighbours(self, cell: Cell) -> Iterator[Cell]:
+        c, r = cell
+        if c > 0:
+            yield (c - 1, r)
+        if c + 1 < self.n_cols:
+            yield (c + 1, r)
+        if r > 0:
+            yield (c, r - 1)
+        if r + 1 < self.n_rows:
+            yield (c, r + 1)
+
+    def manhattan_mm(self, a: Cell, b: Cell) -> float:
+        return (abs(a[0] - b[0]) + abs(a[1] - b[1])) * self.tile_size
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    def regions(self) -> Iterator[str]:
+        return iter(self.kind)
+
+    def remaining(self, region: str) -> float:
+        return self.capacity[region] - self.used[region]
+
+    def reserve(self, region: str, area: float) -> bool:
+        """Consume ``area`` in ``region``; returns False when it does not
+        fit (the caller decides whether to overfill — LAC-retiming
+        *counts* violations rather than forbidding them)."""
+        fits = self.remaining(region) >= area - 1e-9
+        self.used[region] += area
+        return fits
+
+    def release(self, region: str, area: float) -> None:
+        self.used[region] = max(0.0, self.used[region] - area)
+
+    def overflow(self, region: str) -> float:
+        return max(0.0, self.used[region] - self.capacity[region])
+
+    def total_overflow(self) -> float:
+        return sum(self.overflow(t) for t in self.kind)
+
+    def reset_usage(self) -> None:
+        for t in self.used:
+            self.used[t] = 0.0
+
+    def snapshot_usage(self) -> Dict[str, float]:
+        return dict(self.used)
+
+    def restore_usage(self, snapshot: Dict[str, float]) -> None:
+        self.used = dict(snapshot)
+
+
+def build_tile_grid(
+    plan: Floorplan, tech: Technology = DEFAULT_TECH, subsamples: int = 3
+) -> TileGrid:
+    """Discretise a floorplan into a :class:`TileGrid`.
+
+    Channel capacity per cell is estimated by subsampling coverage:
+    the fraction of the cell not covered by any block, times the cell
+    area, times :data:`CHANNEL_DENSITY`.
+    """
+    size = tech.tile_size
+    n_cols = max(1, math.ceil(plan.chip_width / size))
+    n_rows = max(1, math.ceil(plan.chip_height / size))
+
+    region_of_cell: Dict[Cell, str] = {}
+    kind: Dict[str, str] = {}
+    capacity: Dict[str, float] = {}
+    block_region: Dict[str, str] = {}
+    hard_cells: Dict[str, List[Cell]] = {}
+
+    for c in range(n_cols):
+        for r in range(n_rows):
+            x, y = (c + 0.5) * size, (r + 0.5) * size
+            block_name = plan.block_at(x, y)
+            if block_name is None:
+                region = f"ch_{c}_{r}"
+                region_of_cell[(c, r)] = region
+                kind[region] = CHANNEL
+                capacity[region] = _open_area(plan, c, r, size, subsamples)
+            else:
+                block = plan.blocks[block_name]
+                if block.hard:
+                    region = f"hd_{block_name}_{c}_{r}"
+                    region_of_cell[(c, r)] = region
+                    kind[region] = HARD
+                    hard_cells.setdefault(block_name, []).append((c, r))
+                else:
+                    region = f"blk_{block_name}"
+                    region_of_cell[(c, r)] = region
+                    if region not in kind:
+                        kind[region] = SOFT
+                        capacity[region] = block.capacity
+                        block_region[block_name] = region
+
+    # Spread each hard block's site capacity uniformly over its cells.
+    for block_name, cells in hard_cells.items():
+        per_cell = plan.blocks[block_name].site_capacity / len(cells)
+        for cell in cells:
+            capacity[region_of_cell[cell]] = per_cell
+
+    used = {region: 0.0 for region in kind}
+    return TileGrid(
+        n_cols=n_cols,
+        n_rows=n_rows,
+        tile_size=size,
+        region_of_cell=region_of_cell,
+        kind=kind,
+        capacity=capacity,
+        used=used,
+        block_region=block_region,
+    )
+
+
+def _open_area(
+    plan: Floorplan, c: int, r: int, size: float, subsamples: int
+) -> float:
+    """Approximate un-covered area of cell (c, r) by point sampling."""
+    open_points = 0
+    total = subsamples * subsamples
+    for i in range(subsamples):
+        for j in range(subsamples):
+            x = (c + (i + 0.5) / subsamples) * size
+            y = (r + (j + 0.5) / subsamples) * size
+            if plan.block_at(x, y) is None:
+                open_points += 1
+    return CHANNEL_DENSITY * size * size * open_points / total

@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_circuits_lists_suite(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "s298" in out and "s5378" in out
+
+    def test_plan_s27(self, capsys):
+        code = main(["plan", "s27"])
+        out = capsys.readouterr().out
+        assert "interconnect planning: s27" in out
+        assert code in (0, 1)  # 1 = not converged, still a valid run
+
+    def test_verify_reports_equivalence(self, capsys):
+        assert main(["verify"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_unknown_circuit_errors(self):
+        with pytest.raises(KeyError):
+            main(["plan", "s9999"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,120 @@
+"""Unit tests for constraint generation and pruning."""
+
+import pytest
+
+from repro.errors import InfeasiblePeriodError
+from repro.netlist import CircuitGraph, random_circuit
+from repro.retime import (
+    build_constraint_system,
+    clock_constraints,
+    edge_constraints,
+    host_constraints,
+    min_area_retiming,
+    wd_matrices,
+)
+
+
+def diamond():
+    """a -> {b, c} -> d with one register on the a->b branch."""
+    g = CircuitGraph()
+    for name, delay in [("a", 1.0), ("b", 2.0), ("c", 5.0), ("d", 1.0)]:
+        g.add_unit(name, delay=delay)
+    g.add_connection("a", "b", weight=1)
+    g.add_connection("a", "c", weight=0)
+    g.add_connection("b", "d", weight=0)
+    g.add_connection("c", "d", weight=0)
+    return g
+
+
+class TestEdgeConstraints:
+    def test_one_per_pair_with_min_weight(self):
+        g = diamond()
+        g.add_connection("a", "b", weight=3)  # parallel, looser
+        cons = edge_constraints(g)
+        ab = [c for c in cons if (c.u, c.v) == ("a", "b")]
+        assert len(ab) == 1
+        assert ab[0].bound == 1
+
+    def test_kinds_marked(self):
+        for c in edge_constraints(diamond()):
+            assert c.kind == "edge"
+
+
+class TestHostConstraints:
+    def test_equality_pair(self):
+        g = diamond()
+        g.ensure_hosts()
+        cons = host_constraints(g)
+        assert len(cons) == 2
+        assert {c.bound for c in cons} == {0}
+
+    def test_no_hosts_no_constraints(self):
+        assert host_constraints(diamond()) == []
+
+
+class TestClockConstraints:
+    def test_pairs_exceeding_period(self):
+        g = diamond()
+        wd = wd_matrices(g)
+        # T = 6: path a->c->d has delay 7 (> 6, W=0) -> constraint.
+        cons = clock_constraints(g, wd, 6.0)
+        pairs = {(c.u, c.v) for c in cons}
+        assert ("a", "d") in pairs
+        for c in cons:
+            assert c.kind == "clock"
+
+    def test_single_unit_delay_gate(self):
+        g = diamond()
+        wd = wd_matrices(g)
+        with pytest.raises(InfeasiblePeriodError):
+            clock_constraints(g, wd, 4.0)  # unit c alone has delay 5
+
+    def test_large_period_no_constraints(self):
+        g = diamond()
+        wd = wd_matrices(g)
+        assert clock_constraints(g, wd, 100.0) == []
+
+
+class TestSystem:
+    def test_by_kind_partition(self):
+        g = random_circuit("cs", n_units=30, n_ffs=12, seed=2)
+        wd = wd_matrices(g)
+        from repro.retime import clock_period
+
+        system = build_constraint_system(g, wd, clock_period(g))
+        total = (
+            len(system.by_kind("edge"))
+            + len(system.by_kind("host"))
+            + len(system.by_kind("clock"))
+        )
+        assert total == len(system)
+
+    def test_period_recorded(self):
+        g = diamond()
+        wd = wd_matrices(g)
+        system = build_constraint_system(g, wd, 9.0)
+        assert system.period == 9.0
+
+    def test_none_period_skips_clock(self):
+        g = diamond()
+        wd = wd_matrices(g)
+        system = build_constraint_system(g, wd, None)
+        assert system.by_kind("clock") == []
+
+
+class TestPruningSoundnessSweep:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_pruned_optimum_satisfies_full_system(self, seed):
+        from repro.retime import clock_period
+
+        g = random_circuit("pr", n_units=35, n_ffs=18, seed=seed)
+        wd = wd_matrices(g)
+        period = 0.7 * clock_period(g, wd) + 0.3 * wd.max_vertex_delay()
+        try:
+            pruned = build_constraint_system(g, wd, period, prune=True)
+            labels = min_area_retiming(g, period, system=pruned).labels
+        except InfeasiblePeriodError:
+            return  # nothing to check for this seed
+        full = build_constraint_system(g, wd, period, prune=False)
+        for c in full.constraints:
+            assert labels.get(c.u, 0) - labels.get(c.v, 0) <= c.bound

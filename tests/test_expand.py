@@ -1,0 +1,110 @@
+"""Tests for interconnect-unit expansion."""
+
+import pytest
+
+from repro.floorplan import build_floorplan
+from repro.netlist import INTERCONNECT, random_circuit
+from repro.partition import partition_graph
+from repro.repeater import buffer_routed_nets
+from repro.retime import clock_period, wd_matrices
+from repro.retime.expand import IO_REGION, expand_interconnects
+from repro.route import GlobalRouter, nets_from_graph
+from repro.tech import DEFAULT_TECH
+from repro.tiles import build_tile_grid
+
+
+@pytest.fixture(scope="module")
+def expanded_setup():
+    g = random_circuit("ex", n_units=70, n_ffs=25, seed=31)
+    part = partition_graph(g, 6, seed=31)
+    plan = build_floorplan(g, part, seed=31, iterations=600)
+    grid = build_tile_grid(plan)
+    nets = nets_from_graph(g, grid, plan, jitter_seed=31)
+    routed = GlobalRouter(grid).route(nets)
+    buffered = buffer_routed_nets(routed, grid, DEFAULT_TECH)
+    ex = expand_interconnects(g, buffered, grid, plan, jitter_seed=31)
+    return g, plan, grid, buffered, ex
+
+
+class TestExpansion:
+    def test_flip_flop_count_preserved(self, expanded_setup):
+        g, _plan, _grid, _buffered, ex = expanded_setup
+        assert ex.graph.total_flip_flops() == g.total_flip_flops()
+
+    def test_original_units_kept(self, expanded_setup):
+        g, _plan, _grid, _buffered, ex = expanded_setup
+        for unit in g.units():
+            assert unit in ex.graph
+            assert ex.graph.delay(unit) == g.delay(unit)
+
+    def test_interconnect_units_have_zero_area(self, expanded_setup):
+        _g, _plan, _grid, _buffered, ex = expanded_setup
+        assert ex.unit_provenance
+        for unit in ex.unit_provenance:
+            assert ex.graph.kind(unit) == INTERCONNECT
+            assert ex.graph.area(unit) == 0.0
+            assert ex.graph.delay(unit) >= 0.0
+
+    def test_chain_lengths_match_segments(self, expanded_setup):
+        _g, _plan, _grid, buffered, ex = expanded_setup
+        from collections import Counter
+
+        per_conn = Counter((u, v) for (u, v, _j) in ex.unit_provenance.values())
+        for (u, v), count in per_conn.items():
+            assert count % len(buffered[(u, v)].segments) == 0
+
+    def test_every_unit_has_region(self, expanded_setup):
+        _g, _plan, grid, _buffered, ex = expanded_setup
+        regions = set(grid.kind) | {IO_REGION}
+        for unit in ex.graph.units():
+            assert ex.unit_region[unit] in regions
+
+    def test_hosts_in_io_region(self, expanded_setup):
+        g, _plan, _grid, _buffered, ex = expanded_setup
+        for host in g.host_units():
+            assert ex.unit_region[host] == IO_REGION
+
+    def test_period_increases_with_wire_delay(self, expanded_setup):
+        g, _plan, _grid, _buffered, ex = expanded_setup
+        assert clock_period(ex.graph) >= clock_period(g) - 1e-9
+
+    def test_weight_rides_first_subedge(self, expanded_setup):
+        _g, _plan, _grid, _buffered, ex = expanded_setup
+        # every chain edge except the first has weight 0 initially
+        for (u, v, _k), w in ex.graph.connections():
+            if ex.graph.kind(u) == INTERCONNECT and w != 0:
+                pytest.fail(f"interconnect unit {u} holds initial weight {w}")
+
+    def test_validates(self, expanded_setup):
+        _g, _plan, _grid, _buffered, ex = expanded_setup
+        ex.graph.validate()
+
+
+class TestCoarsening:
+    def test_max_units_cap_respected(self):
+        g = random_circuit("exc", n_units=60, n_ffs=20, seed=32)
+        part = partition_graph(g, 5, seed=32)
+        plan = build_floorplan(g, part, seed=32, iterations=500)
+        grid = build_tile_grid(plan)
+        nets = nets_from_graph(g, grid, plan, jitter_seed=32)
+        routed = GlobalRouter(grid).route(nets)
+        buffered = buffer_routed_nets(routed, grid, DEFAULT_TECH)
+        fine = expand_interconnects(g, buffered, grid, plan, jitter_seed=32)
+        coarse = expand_interconnects(
+            g, buffered, grid, plan, jitter_seed=32, max_units_per_connection=2
+        )
+        from collections import Counter
+
+        per_conn = Counter(
+            (u, v) for (u, v, _j) in coarse.unit_provenance.values()
+        )
+        assert all(c <= 2 * _multiplicity(g, u, v) for (u, v), c in per_conn.items())
+        assert coarse.graph.num_units <= fine.graph.num_units
+        # total delay along chains preserved by merging
+        assert sum(
+            coarse.graph.delay(u) for u in coarse.unit_provenance
+        ) == pytest.approx(sum(fine.graph.delay(u) for u in fine.unit_provenance))
+
+
+def _multiplicity(g, u, v) -> int:
+    return sum(1 for (a, b, _k), _w in g.connections() if (a, b) == (u, v))

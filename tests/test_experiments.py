@@ -1,0 +1,104 @@
+"""Tests for the experiment harness (circuits, Table 1 plumbing)."""
+
+import pytest
+
+from repro.core.planner import PlanningOutcome, plan_interconnect
+from repro.experiments import (
+    TABLE1_CIRCUITS,
+    TABLE1_SMOKE,
+    Table1Row,
+    average_decrease,
+    format_rows,
+    get_circuit,
+)
+from repro.experiments.fixtures import prepared_instance
+
+
+class TestCircuitSuite:
+    def test_ten_circuits_like_the_paper(self):
+        assert len(TABLE1_CIRCUITS) == 10
+        assert [c.name for c in TABLE1_CIRCUITS][:3] == ["s298", "s386", "s526"]
+
+    def test_specs_build_valid_graphs(self):
+        for spec in TABLE1_SMOKE:
+            g = spec.build()
+            g.validate()
+            assert g.name == spec.name
+            # n_ffs is a floor: feedback loops and registered I/O can
+            # mandate more registers than the distributable budget.
+            assert g.total_flip_flops() >= spec.n_ffs
+
+    def test_builds_are_reproducible(self):
+        spec = get_circuit("s298")
+        a, b = spec.build(), spec.build()
+        assert sorted(a.connections()) == sorted(b.connections())
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_circuit("s9999")
+
+    def test_sizes_increase_down_the_table(self):
+        sizes = [c.n_units for c in TABLE1_CIRCUITS]
+        assert sizes == sorted(sizes)
+
+
+class TestTable1Row:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        spec = get_circuit("s298")
+        return plan_interconnect(
+            spec.build(),
+            seed=spec.seed,
+            whitespace=spec.whitespace,
+            max_iterations=2,
+            floorplan_iterations=800,
+        )
+
+    def test_from_outcome_fields(self, outcome):
+        row = Table1Row.from_outcome(outcome)
+        assert row.circuit == "s298"
+        assert row.t_clk <= row.t_init
+        assert row.lac_n_foa <= row.ma_n_foa
+        if row.ma_n_foa:
+            assert row.decrease == 1.0 - row.lac_n_foa / row.ma_n_foa
+        else:
+            assert row.decrease is None
+
+    def test_format_contains_row(self, outcome):
+        row = Table1Row.from_outcome(outcome)
+        text = format_rows([row])
+        assert "s298" in text
+        assert "min-area" in text
+
+    def test_average_decrease(self):
+        rows = []
+        for foa_ma, foa_lac in [(10, 2), (0, 0), (4, 4)]:
+            rows.append(
+                Table1Row(
+                    circuit="x",
+                    t_clk=1.0,
+                    t_init=2.0,
+                    ma_n_foa=foa_ma,
+                    ma_n_f=10,
+                    ma_n_fn=1,
+                    ma_seconds=0.1,
+                    lac_n_foa=foa_lac,
+                    lac_n_foa_iter2=None,
+                    lac_infeasible_iter2=False,
+                    lac_n_f=10,
+                    lac_n_fn=1,
+                    n_wr=3,
+                    lac_seconds=0.2,
+                )
+            )
+        # defined rows: 80% and 0% decrease -> average 40%
+        assert average_decrease(rows) == pytest.approx(0.4)
+        assert average_decrease([rows[1]]) is None
+
+
+class TestPreparedInstance:
+    def test_prepares_consistent_state(self):
+        inst = prepared_instance("s298")
+        assert inst.t_min <= inst.t_clk <= inst.t_init + 1e-9
+        assert inst.system.period == inst.t_clk
+        assert inst.expanded.graph.num_units == len(inst.expanded.unit_region)

@@ -1,0 +1,126 @@
+"""Tests for the FEAS algorithm and the vectorised feasibility checker.
+
+Both are cross-checked against the constraint-object reference
+(`is_feasible_period(use_fast=False)`). FEAS uses the classic
+*single-host* semantics (hosts contracted), which is sound but can be
+conservative relative to the split-host model on open circuits — the
+tests encode exactly that contract.
+"""
+
+import pytest
+
+from repro.netlist import CircuitGraph, random_circuit, s27_graph
+from repro.retime import (
+    arrival_times,
+    clock_period,
+    feas_labels,
+    is_feasible_period,
+    min_period_retiming,
+    wd_matrices,
+)
+from repro.retime.fastcheck import FeasibilityChecker
+from tests.test_wd import correlator
+
+
+class TestArrivalTimes:
+    def test_chain(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=1.0)
+        g.add_unit("b", delay=2.0)
+        g.add_unit("c", delay=4.0)
+        g.add_connection("a", "b", weight=0)
+        g.add_connection("b", "c", weight=1)
+        delta = arrival_times(g)
+        assert delta == {"a": 1.0, "b": 3.0, "c": 4.0}
+
+    def test_matches_clock_period(self):
+        g = correlator()
+        assert max(arrival_times(g).values()) == clock_period(g)
+
+    def test_combinational_cycle_raises(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=1.0)
+        g.add_unit("b", delay=1.0)
+        g.add_connection("a", "b", weight=0)
+        g.add_connection("b", "a", weight=0)
+        with pytest.raises(Exception, match="cycle"):
+            arrival_times(g)
+
+
+class TestFeas:
+    def test_correlator_feasible_at_13(self):
+        g = correlator()
+        labels = feas_labels(g, 13.0)
+        assert labels is not None
+        assert clock_period(g.retimed(labels)) <= 13.0
+
+    def test_correlator_infeasible_at_12(self):
+        assert feas_labels(correlator(), 12.0) is None
+
+    def test_feasible_implies_reference_feasible(self):
+        """FEAS(single-host) feasible => split-host feasible (soundness)."""
+        for seed in range(3):
+            g = random_circuit("f", n_units=30, n_ffs=20, seed=seed)
+            wd = wd_matrices(g)
+            t_init = clock_period(g, wd)
+            for period in [t_init, 0.8 * t_init, 0.6 * t_init]:
+                labels = feas_labels(g, period)
+                if labels is not None:
+                    assert clock_period(g.retimed(labels)) <= period + 1e-9
+                    assert is_feasible_period(g, period, wd) is not None
+
+    def test_hosts_pinned_at_zero(self):
+        g = random_circuit("f", n_units=25, n_ffs=15, seed=4)
+        labels = feas_labels(g, clock_period(g))
+        assert labels is not None
+        for host in g.host_units():
+            assert labels[host] == 0
+
+    def test_combinational_io_falls_back(self):
+        # s27 has combinational PI->PO paths: host contraction creates a
+        # zero-weight cycle, so feas_labels must fall back and still
+        # answer correctly.
+        g = s27_graph()
+        t_init = clock_period(g)
+        assert feas_labels(g, t_init) is not None
+        assert feas_labels(g, 0.5) is None
+
+
+class TestFastChecker:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_reference(self, seed):
+        g = random_circuit("fc", n_units=35, n_ffs=25, seed=seed)
+        wd = wd_matrices(g)
+        checker = FeasibilityChecker.build(g, wd)
+        t_init = clock_period(g, wd)
+        for frac in [1.0, 0.85, 0.7, 0.55, 0.4]:
+            period = frac * t_init
+            fast = checker.labels(period)
+            ref = is_feasible_period(g, period, wd, use_fast=False)
+            assert (fast is None) == (ref is None), f"period {period}"
+            if fast is not None:
+                # fast labels must be a genuine solution
+                retimed = g.retimed(
+                    _normalised(g, fast)
+                )
+                assert clock_period(retimed) <= period + 1e-9
+
+    def test_min_period_matches_reference_search(self):
+        g = random_circuit("fc", n_units=30, n_ffs=20, seed=9)
+        wd = wd_matrices(g)
+        t_min, _result = min_period_retiming(g, wd)
+        # reference: linear scan over candidates with the slow checker
+        from repro.retime import candidate_periods
+
+        feasible = [
+            t
+            for t in candidate_periods(wd)
+            if is_feasible_period(g, t, wd, use_fast=False) is not None
+        ]
+        assert t_min == min(feasible)
+
+
+def _normalised(graph, labels):
+    from repro.retime import normalise_labels
+
+    return normalise_labels(graph, {v: labels.get(v, 0) for v in graph.units()})

@@ -1,0 +1,142 @@
+"""Tests for blocks, sequence-pair packing, and the annealer."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import (
+    Block,
+    SequencePairAnnealer,
+    build_floorplan,
+    expand_floorplan,
+    overlaps,
+    pack,
+)
+from repro.netlist import random_circuit
+from repro.partition import partition_graph
+
+
+def square_blocks(n, area=16.0):
+    return [Block(name=f"B{i}", unit_area=area, whitespace=0.0) for i in range(n)]
+
+
+class TestBlock:
+    def test_soft_capacity_is_whitespace(self):
+        b = Block("b", unit_area=100.0, whitespace=0.25)
+        assert b.outline_area == pytest.approx(125.0)
+        assert b.capacity == pytest.approx(25.0)
+
+    def test_hard_capacity_is_sites(self):
+        b = Block("b", unit_area=100.0, hard=True, site_capacity=5.0)
+        assert b.capacity == 5.0
+
+    def test_aspect_changes_dims_not_area(self):
+        b = Block("b", unit_area=64.0, whitespace=0.0)
+        wide = b.with_aspect(2.0)
+        assert wide.width * wide.height == pytest.approx(64.0)
+        assert wide.width == pytest.approx(2.0 * wide.height)
+
+    def test_hard_block_cannot_reshape(self):
+        b = Block("b", unit_area=10.0, hard=True)
+        with pytest.raises(FloorplanError):
+            b.with_aspect(2.0)
+
+    def test_expanded_increases_capacity(self):
+        b = Block("b", unit_area=100.0, whitespace=0.2)
+        e = b.expanded(1.5)
+        assert e.capacity > b.capacity
+        assert e.unit_area == b.unit_area
+
+    def test_nonpositive_area_rejected(self):
+        with pytest.raises(FloorplanError):
+            Block("b", unit_area=0.0)
+
+
+class TestPack:
+    def test_two_blocks_side_by_side(self):
+        blocks = {b.name: b for b in square_blocks(2)}
+        placements, w, h = pack(["B0", "B1"], ["B0", "B1"], blocks)
+        assert w == pytest.approx(8.0)
+        assert h == pytest.approx(4.0)
+        assert not overlaps(placements)
+
+    def test_two_blocks_stacked(self):
+        blocks = {b.name: b for b in square_blocks(2)}
+        # B0 after B1 in gamma_plus, before in gamma_minus => B0 below B1.
+        placements, w, h = pack(["B1", "B0"], ["B0", "B1"], blocks)
+        assert w == pytest.approx(4.0)
+        assert h == pytest.approx(8.0)
+        assert not overlaps(placements)
+
+    def test_never_overlaps_random_pairs(self):
+        import random
+
+        rng = random.Random(0)
+        blocks = {
+            f"B{i}": Block(f"B{i}", unit_area=rng.uniform(4, 40), whitespace=0.0)
+            for i in range(8)
+        }
+        names = list(blocks)
+        for _ in range(20):
+            gp = list(names)
+            gm = list(names)
+            rng.shuffle(gp)
+            rng.shuffle(gm)
+            placements, _w, _h = pack(gp, gm, blocks)
+            assert not overlaps(placements)
+
+    def test_mismatched_sequences_rejected(self):
+        blocks = {b.name: b for b in square_blocks(2)}
+        with pytest.raises(FloorplanError):
+            pack(["B0"], ["B0", "B1"], blocks)
+
+
+class TestAnnealer:
+    def test_packs_tighter_than_worst_case(self):
+        blocks = square_blocks(9)
+        annealer = SequencePairAnnealer(blocks, seed=3)
+        placements, w, h = annealer.run(iterations=1500)
+        total_area = sum(b.outline_area for b in blocks)
+        assert not overlaps(placements)
+        # Dead space below 60% and far better than a single row.
+        assert w * h <= 1.6 * total_area
+        assert max(w, h) < 9 * 4.0
+
+    def test_deterministic_for_seed(self):
+        p1, w1, h1 = SequencePairAnnealer(square_blocks(5), seed=9).run(500)
+        p2, w2, h2 = SequencePairAnnealer(square_blocks(5), seed=9).run(500)
+        assert (w1, h1) == (w2, h2)
+        assert [p.name for p in p1] == [p.name for p in p2]
+
+
+class TestBuildFloorplan:
+    def test_end_to_end(self):
+        g = random_circuit("fp", n_units=60, n_ffs=30, seed=4)
+        part = partition_graph(g, 6, seed=4)
+        plan = build_floorplan(g, part, seed=4, iterations=800)
+        assert len(plan.placements) == 6
+        assert plan.dead_area >= -1e-6
+        assert set(plan.block_of_unit) == set(part.assignment)
+        # every unit's placement is inside the chip
+        for unit in plan.block_of_unit:
+            p = plan.placement_of_unit(unit)
+            assert p.x2 <= plan.chip_width + 1e-9
+            assert p.y2 <= plan.chip_height + 1e-9
+
+    def test_block_at_lookup(self):
+        g = random_circuit("fp", n_units=40, n_ffs=20, seed=5)
+        part = partition_graph(g, 4, seed=5)
+        plan = build_floorplan(g, part, seed=5, iterations=500)
+        some_block = next(iter(plan.placements.values()))
+        cx, cy = some_block.center
+        assert plan.block_at(cx, cy) == some_block.name
+
+    def test_expand_floorplan_grows_targets(self):
+        g = random_circuit("fp", n_units=40, n_ffs=20, seed=6)
+        part = partition_graph(g, 4, seed=6)
+        plan = build_floorplan(g, part, seed=6, iterations=500)
+        target = next(iter(plan.blocks))
+        bigger = expand_floorplan(plan, g, [target], factor=1.5, iterations=500)
+        assert bigger.blocks[target].capacity > plan.blocks[target].capacity
+        untouched = [b for b in plan.blocks if b != target]
+        for name in untouched:
+            assert bigger.blocks[name].unit_area == plan.blocks[name].unit_area

@@ -1,0 +1,64 @@
+"""Tests for JSON circuit serialisation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    random_circuit,
+    s27_graph,
+    save_graph,
+)
+
+
+class TestRoundTrip:
+    def test_s27_round_trips(self, tmp_path):
+        g = s27_graph()
+        path = tmp_path / "s27.json"
+        save_graph(g, str(path))
+        back = load_graph(str(path))
+        assert back.name == g.name
+        assert sorted(back.connections()) == sorted(g.connections())
+        for u in g.units():
+            assert back.delay(u) == g.delay(u)
+            assert back.area(u) == g.area(u)
+            assert back.kind(u) == g.kind(u)
+
+    def test_parallel_connections_preserved(self):
+        from repro.netlist import CircuitGraph
+
+        g = CircuitGraph("par")
+        g.add_unit("a")
+        g.add_unit("b")
+        g.add_connection("a", "b", weight=1)
+        g.add_connection("a", "b", weight=3)
+        back = graph_from_dict(graph_to_dict(g))
+        weights = sorted(w for _c, w in back.connections())
+        assert weights == [1, 3]
+
+    def test_random_circuit_round_trips(self):
+        g = random_circuit("rt", n_units=40, n_ffs=15, seed=3)
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.total_flip_flops() == g.total_flip_flops()
+        assert back.num_units == g.num_units
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(NetlistError, match="malformed"):
+            graph_from_dict({"name": "x", "units": [{"name": "a"}]})
+
+    def test_invalid_graph_rejected(self):
+        data = {
+            "name": "bad",
+            "units": [
+                {"name": "a", "delay": 1.0, "area": 1.0, "kind": "logic"},
+                {"name": "b", "delay": 1.0, "area": 1.0, "kind": "logic"},
+            ],
+            "connections": [
+                {"u": "a", "v": "b", "weight": 0},
+                {"u": "b", "v": "a", "weight": 0},
+            ],
+        }
+        with pytest.raises(NetlistError, match="cycle"):
+            graph_from_dict(data)

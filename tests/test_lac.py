@@ -1,0 +1,146 @@
+"""Tests for area metrics and LAC-retiming on a hand-built scenario.
+
+The scenario isolates the algorithmic claim: min-area retiming happily
+piles flip-flops into a tiny tile, while LAC-retiming pays a small
+flip-flop premium to satisfy the local capacity.
+"""
+
+import pytest
+
+from repro.core import area_report, lac_retiming
+from repro.core.lac import WEIGHT_MAX, WEIGHT_MIN
+from repro.netlist import CircuitGraph
+from repro.retime import min_area_retiming
+from repro.retime.expand import IO_REGION
+from repro.tech import Technology
+from repro.tiles.grid import SOFT, TileGrid
+
+
+def tiny_grid(capacities):
+    """A degenerate grid with named soft regions and given capacities."""
+    region_of_cell = {(i, 0): t for i, t in enumerate(capacities)}
+    return TileGrid(
+        n_cols=len(capacities),
+        n_rows=1,
+        tile_size=1.0,
+        region_of_cell=region_of_cell,
+        kind={t: SOFT for t in capacities},
+        capacity=dict(capacities),
+        used={t: 0.0 for t in capacities},
+        block_region={},
+    )
+
+
+TECH = Technology(ff_area=1.0)
+
+
+def ring_scenario():
+    """A 4-unit ring with 4 flip-flops and slack to place them anywhere.
+
+    Unit u0 sits in a zero-capacity tile; u1..u3 in roomy tiles. Pure
+    min-area retiming has many optima with the same flip-flop count, so
+    weighting must steer flip-flops off u0's fanout.
+    """
+    g = CircuitGraph("ring")
+    for i in range(4):
+        g.add_unit(f"u{i}", delay=1.0)
+    for i in range(4):
+        g.add_connection(f"u{i}", f"u{(i + 1) % 4}", weight=1)
+    unit_region = {f"u{i}": f"t{i}" for i in range(4)}
+    grid = tiny_grid({"t0": 0.0, "t1": 4.0, "t2": 4.0, "t3": 4.0})
+    return g, unit_region, grid
+
+
+class TestAreaReport:
+    def test_counts_by_fanin_region(self):
+        g, unit_region, grid = ring_scenario()
+        report = area_report(g, unit_region, grid, TECH)
+        assert report.n_f == 4
+        assert report.ff_count == {"t0": 1, "t1": 1, "t2": 1, "t3": 1}
+        # t0 has zero capacity: its single FF violates.
+        assert report.violations == {"t0": 1}
+        assert report.n_foa == 1
+
+    def test_io_region_never_violates(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=1.0)
+        g.add_unit("b", delay=1.0)
+        g.add_connection("a", "b", weight=3)
+        grid = tiny_grid({"t": 0.0})
+        report = area_report(g, {"a": IO_REGION, "b": "t"}, grid, TECH)
+        assert report.n_foa == 0
+        assert report.n_f == 3
+
+    def test_n_fn_counts_interconnect_ffs(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=1.0)
+        g.add_unit("w", delay=0.2, kind="interconnect")
+        g.add_unit("b", delay=1.0)
+        g.add_connection("a", "w", weight=1)
+        g.add_connection("w", "b", weight=2)
+        grid = tiny_grid({"t": 10.0})
+        report = area_report(g, {"a": "t", "w": "t", "b": "t"}, grid, TECH)
+        assert report.n_fn == 2
+        assert report.n_f == 3
+
+    def test_consumption_ratio_full_region_large(self):
+        g, unit_region, grid = ring_scenario()
+        report = area_report(g, unit_region, grid, TECH)
+        ratios = report.consumption_ratio(grid, TECH)
+        assert ratios["t0"] == 10.0  # saturated marker
+        assert 0 < ratios["t1"] < 1
+
+
+class TestLACRetiming:
+    def test_clears_violation_min_area_leaves(self):
+        g, unit_region, grid = ring_scenario()
+        lac = lac_retiming(
+            g, unit_region, grid, period=10.0, tech=TECH, max_rounds=10
+        )
+        assert lac.report.n_foa == 0
+        # flip-flop total cannot drop below the cycle invariant (4).
+        assert lac.report.n_f == 4
+        # the zero-capacity tile ends up empty
+        assert lac.report.ff_count.get("t0", 0) == 0
+
+    def test_respects_period_constraint(self):
+        g, unit_region, grid = ring_scenario()
+        from repro.retime import clock_period
+
+        lac = lac_retiming(g, unit_region, grid, period=2.0, tech=TECH)
+        assert clock_period(lac.retiming.graph) <= 2.0
+
+    def test_history_and_nwr_consistent(self):
+        g, unit_region, grid = ring_scenario()
+        lac = lac_retiming(g, unit_region, grid, period=10.0, tech=TECH)
+        assert lac.n_wr == len(lac.history)
+        assert lac.n_wr >= 1
+
+    def test_weights_clamped(self):
+        g, unit_region, grid = ring_scenario()
+        lac = lac_retiming(
+            g, unit_region, grid, period=10.0, tech=TECH, alpha=1.0, max_rounds=20
+        )
+        for w in lac.tile_weights.values():
+            assert WEIGHT_MIN <= w <= WEIGHT_MAX
+
+    def test_alpha_validation(self):
+        g, unit_region, grid = ring_scenario()
+        with pytest.raises(ValueError):
+            lac_retiming(g, unit_region, grid, period=10.0, tech=TECH, alpha=1.5)
+
+    def test_alpha_zero_is_pure_min_area(self):
+        """alpha=0 never reweights: every round equals plain min-area."""
+        g, unit_region, grid = ring_scenario()
+        lac = lac_retiming(
+            g, unit_region, grid, period=10.0, tech=TECH, alpha=0.0, n_max=2
+        )
+        base = min_area_retiming(g, period=10.0)
+        assert lac.report.n_f == base.total_ffs
+
+    def test_infeasible_period_propagates(self):
+        from repro.errors import InfeasiblePeriodError
+
+        g, unit_region, grid = ring_scenario()
+        with pytest.raises(InfeasiblePeriodError):
+            lac_retiming(g, unit_region, grid, period=0.5, tech=TECH)

@@ -1,0 +1,163 @@
+"""Tests for the in-house min-cost-flow solver and its retiming dual.
+
+Cross-checked three ways: against hand-computed flows, against the
+networkx-based path (:func:`optimal_labels`), and against brute-force
+LP enumeration.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import InfeasibleConstraintsError, UnboundedObjectiveError
+from repro.netlist import random_circuit
+from repro.retime import (
+    Constraint,
+    build_constraint_system,
+    clock_period,
+    min_area_retiming,
+    optimal_labels,
+    wd_matrices,
+)
+from repro.retime.mcf import MinCostFlow, solve_retiming_dual
+
+
+class TestMinCostFlow:
+    def test_simple_transshipment(self):
+        mcf = MinCostFlow()
+        mcf.add_node("s", demand=-2)  # supplies 2
+        mcf.add_node("t", demand=2)  # wants 2
+        mcf.add_node("m")
+        mcf.add_arc("s", "m", cost=1)
+        mcf.add_arc("m", "t", cost=1)
+        mcf.add_arc("s", "t", cost=5)
+        cost, _pot = mcf.solve()
+        assert cost == pytest.approx(4.0)  # both units via m
+        assert mcf.flow_on("s", "m") == pytest.approx(2.0)
+        assert mcf.flow_on("s", "t") == pytest.approx(0.0)
+
+    def test_negative_arc_used(self):
+        mcf = MinCostFlow()
+        mcf.add_node("a", demand=-1)
+        mcf.add_node("b", demand=1)
+        mcf.add_arc("a", "b", cost=-3)
+        cost, _pot = mcf.solve()
+        assert cost == pytest.approx(-3.0)
+
+    def test_negative_cycle_detected(self):
+        mcf = MinCostFlow()
+        mcf.add_node("a", demand=-1)
+        mcf.add_node("b", demand=1)
+        mcf.add_arc("a", "b", cost=1)
+        mcf.add_arc("b", "a", cost=-2)
+        with pytest.raises(InfeasibleConstraintsError):
+            mcf.solve()
+
+    def test_unreachable_deficit(self):
+        mcf = MinCostFlow()
+        mcf.add_node("a", demand=-1)
+        mcf.add_node("b", demand=1)  # no arcs at all
+        with pytest.raises(UnboundedObjectiveError):
+            mcf.solve()
+
+    def test_nonzero_demand_sum_rejected(self):
+        mcf = MinCostFlow()
+        mcf.add_node("a", demand=1)
+        with pytest.raises(ValueError):
+            mcf.solve()
+
+    def test_zero_demand_trivial(self):
+        mcf = MinCostFlow()
+        mcf.add_node("a")
+        mcf.add_node("b")
+        mcf.add_arc("a", "b", cost=7)
+        cost, _pot = mcf.solve()
+        assert cost == 0.0
+
+
+class TestRetimingDual:
+    def brute_force(self, constraints, objective, radius=3):
+        nodes = sorted({c.u for c in constraints} | {c.v for c in constraints})
+        best = None
+        for combo in itertools.product(
+            range(-radius, radius + 1), repeat=len(nodes)
+        ):
+            labels = dict(zip(nodes, combo))
+            if any(labels[c.u] - labels[c.v] > c.bound for c in constraints):
+                continue
+            val = sum(objective.get(n, 0) * labels[n] for n in nodes)
+            best = val if best is None else min(best, val)
+        return best
+
+    def test_matches_brute_force(self):
+        rng = random.Random(11)
+        for _trial in range(20):
+            n = rng.randint(2, 4)
+            nodes = [f"v{i}" for i in range(n)]
+            constraints = []
+            for i in range(n):
+                u, v = nodes[i], nodes[(i + 1) % n]
+                constraints.append(Constraint(u, v, rng.randint(0, 3), "edge"))
+                constraints.append(Constraint(v, u, rng.randint(0, 3), "edge"))
+            coeffs = [rng.randint(-3, 3) for _ in range(n - 1)]
+            coeffs.append(-sum(coeffs))
+            objective = dict(zip(nodes, coeffs))
+
+            labels = solve_retiming_dual(constraints, objective)
+            assert all(
+                labels[c.u] - labels[c.v] <= c.bound for c in constraints
+            )
+            value = sum(objective[x] * labels[x] for x in nodes)
+            assert value == self.brute_force(constraints, objective)
+
+    def test_matches_networkx_backend(self):
+        for seed in range(4):
+            g = random_circuit("mcf", n_units=25, n_ffs=15, seed=seed)
+            wd = wd_matrices(g)
+            period = clock_period(g, wd)
+            system = build_constraint_system(g, wd, period)
+            objective = {}
+            from repro.retime import retiming_objective
+
+            objective = retiming_objective(g)
+            ours = solve_retiming_dual(system.constraints, objective)
+            theirs = optimal_labels(system.constraints, objective)
+            value = lambda lab: sum(
+                objective.get(v, 0) * lab.get(v, 0) for v in g.units()
+            )
+            assert value(ours) == value(theirs)
+            assert all(
+                ours.get(c.u, 0) - ours.get(c.v, 0) <= c.bound
+                for c in system.constraints
+            )
+
+    def test_min_area_backend_equivalence(self):
+        """Full min-area retiming agrees whichever solver runs the dual."""
+        g = random_circuit("mcfb", n_units=30, n_ffs=20, seed=7)
+        wd = wd_matrices(g)
+        period = clock_period(g, wd)
+        system = build_constraint_system(g, wd, period)
+        from repro.retime import retiming_objective
+
+        labels = solve_retiming_dual(system.constraints, retiming_objective(g))
+        from repro.retime import normalise_labels
+
+        labels = normalise_labels(g, {v: labels.get(v, 0) for v in g.units()})
+        ours = g.retimed(labels).total_flip_flops()
+        reference = min_area_retiming(g, period, wd=wd, system=system).total_ffs
+        assert ours == reference
+
+
+class TestBackendParameter:
+    def test_min_area_native_backend(self):
+        g = random_circuit("bk", n_units=25, n_ffs=12, seed=5)
+        period = clock_period(g)
+        a = min_area_retiming(g, period, backend="native")
+        b = min_area_retiming(g, period, backend="networkx")
+        assert a.total_ffs == b.total_ffs
+
+    def test_unknown_backend_rejected(self):
+        g = random_circuit("bk2", n_units=10, n_ffs=5, seed=5)
+        with pytest.raises(ValueError, match="backend"):
+            min_area_retiming(g, clock_period(g), backend="magic")

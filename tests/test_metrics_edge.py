@@ -1,0 +1,79 @@
+"""Edge-case tests for area metrics and flip-flop placement."""
+
+import pytest
+
+from repro.core import area_report
+from repro.netlist import CircuitGraph
+from repro.retime.expand import IO_REGION
+from repro.tech import Technology
+from repro.tiles.grid import SOFT, TileGrid
+
+
+def grid_with(capacities, used=None):
+    region_of_cell = {(i, 0): t for i, t in enumerate(capacities)}
+    return TileGrid(
+        n_cols=len(capacities),
+        n_rows=1,
+        tile_size=1.0,
+        region_of_cell=region_of_cell,
+        kind={t: SOFT for t in capacities},
+        capacity=dict(capacities),
+        used=dict(used or {t: 0.0 for t in capacities}),
+        block_region={},
+    )
+
+
+TECH = Technology(ff_area=2.0)
+
+
+class TestAreaReportEdges:
+    def test_empty_graph(self):
+        g = CircuitGraph()
+        g.add_unit("a")
+        report = area_report(g, {"a": "t"}, grid_with({"t": 4.0}), TECH)
+        assert report.n_f == 0
+        assert report.n_foa == 0
+        assert report.violations == {}
+
+    def test_repeater_usage_shrinks_ff_capacity(self):
+        """C(t) is the *remaining* capacity after repeater insertion."""
+        g = CircuitGraph()
+        g.add_unit("a")
+        g.add_unit("b")
+        g.add_connection("a", "b", weight=2)  # needs 4.0 area at ff_area=2
+        fresh = grid_with({"t": 4.0})
+        assert area_report(g, {"a": "t", "b": "t"}, fresh, TECH).n_foa == 0
+        eaten = grid_with({"t": 4.0}, used={"t": 3.0})  # repeaters took 3.0
+        report = area_report(g, {"a": "t", "b": "t"}, eaten, TECH)
+        assert report.n_foa == 2  # nothing fits any more (only 1.0 left)
+
+    def test_fractional_capacity_floors(self):
+        g = CircuitGraph()
+        g.add_unit("a")
+        g.add_unit("b")
+        g.add_connection("a", "b", weight=2)
+        grid = grid_with({"t": 3.9})  # floor(3.9 / 2.0) = 1 slot
+        report = area_report(g, {"a": "t", "b": "t"}, grid, TECH)
+        assert report.n_foa == 1
+
+    def test_unknown_region_defaults_to_io(self):
+        g = CircuitGraph()
+        g.add_unit("a")
+        g.add_unit("b")
+        g.add_connection("a", "b", weight=1)
+        report = area_report(g, {}, grid_with({"t": 0.0}), TECH)
+        # unmapped units charge to the (unbounded) I/O region
+        assert report.ff_count == {IO_REGION: 1}
+        assert report.n_foa == 0
+
+    def test_violating_regions_listing(self):
+        g = CircuitGraph()
+        g.add_unit("a")
+        g.add_unit("b")
+        g.add_unit("c")
+        g.add_connection("a", "b", weight=3)
+        g.add_connection("b", "c", weight=1)
+        grid = grid_with({"t0": 2.0, "t1": 10.0})
+        report = area_report(g, {"a": "t0", "b": "t1", "c": "t1"}, grid, TECH)
+        assert report.violating_regions() == ["t0"]
+        assert report.violations["t0"] == 2  # 3 FFs, 1 slot

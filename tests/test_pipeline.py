@@ -1,0 +1,49 @@
+"""Tests for the structured pipeline-circuit generator."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import pipeline_circuit
+from repro.retime import clock_period, min_period_retiming
+
+
+class TestConstruction:
+    def test_shape(self):
+        g = pipeline_circuit("p", n_stages=4, width=3, seed=0, logic_depth=2)
+        # 4 stages x 2 levels x 3 lanes + 2 hosts
+        assert g.num_units == 4 * 2 * 3 + 2
+        g.validate()
+
+    def test_registered_boundaries(self):
+        g = pipeline_circuit("p", n_stages=3, width=2, seed=1)
+        # every stage boundary edge carries exactly one register
+        boundary = [
+            w
+            for (u, v, _k), w in g.connections()
+            if u.startswith("s0l2") and v.startswith("s1l0")
+        ]
+        assert boundary and all(w == 1 for w in boundary)
+
+    def test_reproducible(self):
+        a = pipeline_circuit("p", n_stages=3, width=2, seed=9)
+        b = pipeline_circuit("p", n_stages=3, width=2, seed=9)
+        assert sorted(a.connections()) == sorted(b.connections())
+
+    def test_validation_errors(self):
+        with pytest.raises(NetlistError):
+            pipeline_circuit("p", n_stages=1, width=2, seed=0)
+        with pytest.raises(NetlistError):
+            pipeline_circuit("p", n_stages=3, width=0, seed=0)
+
+
+class TestRetimability:
+    def test_stage_registers_redistributable(self):
+        """Deep per-stage logic means T_init >> T_min: retiming can
+        rebalance the boundary register banks into the logic."""
+        g = pipeline_circuit(
+            "p", n_stages=5, width=2, seed=3, logic_depth=6
+        )
+        t_init = clock_period(g)
+        t_min, result = min_period_retiming(g)
+        assert t_min < t_init
+        assert clock_period(result.graph) <= t_min + 1e-9

@@ -1,0 +1,269 @@
+"""Integration tests for the end-to-end interconnect planner.
+
+These exercise the whole flow (Fig. 1) on a small synthetic circuit —
+slow-ish (a few seconds) but they pin the paper's qualitative claims:
+LAC never does worse than min-area on violations, timing targets are
+honoured, and flip-flop placement follows the fanin-tile convention.
+"""
+
+import re
+
+import pytest
+
+from repro.core import (
+    PlannerConfig,
+    commit_flip_flop_area,
+    place_flip_flops,
+    plan_interconnect,
+)
+from repro.netlist import random_circuit
+from repro.retime import clock_period, verify_retiming
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    g = random_circuit("it", n_units=90, n_ffs=22, seed=77)
+    return plan_interconnect(
+        g, seed=77, max_iterations=2, floorplan_iterations=800
+    )
+
+
+class TestFlow:
+    def test_periods_ordered(self, outcome):
+        it = outcome.first
+        assert it.t_min <= it.t_clk <= it.t_init + 1e-9
+
+    def test_t_clk_at_20_percent(self, outcome):
+        it = outcome.first
+        expected = it.t_min + 0.2 * (it.t_init - it.t_min)
+        assert it.t_clk == pytest.approx(expected)
+
+    def test_both_retimings_meet_period(self, outcome):
+        it = outcome.first
+        assert clock_period(it.min_area.result.graph) <= it.t_clk + 1e-9
+        assert clock_period(it.lac.retiming.graph) <= it.t_clk + 1e-9
+
+    def test_retimings_verify(self, outcome):
+        it = outcome.first
+        verify_retiming(it.expanded.graph, it.lac.retiming.labels, period=it.t_clk)
+        verify_retiming(
+            it.expanded.graph, it.min_area.result.labels, period=it.t_clk
+        )
+
+    def test_lac_not_worse_than_min_area(self, outcome):
+        it = outcome.first
+        assert it.lac.report.n_foa <= it.min_area.report.n_foa
+
+    def test_min_area_is_flip_flop_lower_bound(self, outcome):
+        """LAC trades area for locality: N_F(LAC) >= N_F(min-area)."""
+        it = outcome.first
+        assert it.lac.report.n_f >= it.min_area.report.n_f
+
+    def test_report_mentions_decrease(self, outcome):
+        text = outcome.report()
+        assert "N_FOA decrease" in text
+        assert re.search(r"iteration 1", text)
+
+    def test_iterations_share_t_clk(self, outcome):
+        if len(outcome.iterations) > 1:
+            assert outcome.iterations[1].t_clk == outcome.first.t_clk
+
+    def test_foa_decrease_bounds(self, outcome):
+        dec = outcome.foa_decrease()
+        assert dec is None or dec <= 1.0
+
+
+class TestFlipFlopPlacement:
+    def test_placement_covers_all_ffs(self, outcome):
+        it = outcome.first
+        placed = place_flip_flops(
+            it.lac.retiming.graph,
+            it.expanded.unit_region,
+            it.grid,
+            it.floorplan,
+            jitter_seed=outcome.config.seed,
+        )
+        assert len(placed) == it.lac.report.n_f
+
+    def test_commit_matches_n_foa(self, outcome):
+        it = outcome.first
+        placed = place_flip_flops(
+            it.lac.retiming.graph,
+            it.expanded.unit_region,
+            it.grid,
+            it.floorplan,
+            jitter_seed=outcome.config.seed,
+        )
+        snapshot = it.grid.snapshot_usage()
+        misfits = commit_flip_flop_area(placed, it.grid, outcome.config.tech)
+        it.grid.restore_usage(snapshot)
+        assert misfits == it.lac.report.n_foa
+
+
+class TestConfig:
+    def test_overrides_apply(self):
+        g = random_circuit("cfg", n_units=40, n_ffs=12, seed=5)
+        out = plan_interconnect(
+            g,
+            seed=5,
+            alpha=0.3,
+            max_iterations=1,
+            floorplan_iterations=300,
+            run_baseline=False,
+        )
+        assert out.config.alpha == 0.3
+        assert out.first.min_area is None
+        assert out.foa_decrease() is None
+
+    def test_config_object_used(self):
+        g = random_circuit("cfg2", n_units=40, n_ffs=12, seed=6)
+        cfg = PlannerConfig(seed=6, floorplan_iterations=300, n_blocks=4)
+        out = plan_interconnect(g, cfg, max_iterations=1)
+        assert out.first.partition.n_blocks == 4
+
+
+class TestValidation:
+    def test_validate_iteration_passes(self, outcome):
+        from repro.core import validate_iteration
+
+        checks = validate_iteration(outcome.first, outcome.config.tech)
+        assert len(checks) >= 6
+
+    def test_validate_detects_tampering(self, outcome):
+        import copy
+
+        from repro.core import validate_iteration
+        from repro.errors import PlanningError
+
+        tampered = copy.copy(outcome.first)
+        tampered_report = copy.copy(tampered.lac.report)
+        tampered_report.n_f += 1
+        tampered_lac = copy.copy(tampered.lac)
+        tampered_lac.report = tampered_report
+        tampered.lac = tampered_lac
+        with pytest.raises(PlanningError):
+            validate_iteration(tampered, outcome.config.tech)
+
+
+class TestFlowReport:
+    def test_markdown_report(self, outcome, tmp_path):
+        from repro.core import flow_report_markdown, write_flow_report
+
+        text = flow_report_markdown(outcome)
+        assert f"`{outcome.circuit}`" in text
+        assert "## Iteration 1" in text
+        assert "| min-area |" in text
+        assert "| LAC |" in text
+        assert "Timing (final LAC-retimed circuit)" in text
+
+        path = tmp_path / "report.md"
+        write_flow_report(outcome, str(path))
+        assert path.read_text() == text
+
+
+class TestFloorplanBackends:
+    def test_slicing_backend_plans_end_to_end(self):
+        g = random_circuit("slc", n_units=60, n_ffs=16, seed=13)
+        out = plan_interconnect(
+            g,
+            seed=13,
+            max_iterations=1,
+            floorplan_iterations=500,
+            floorplan_backend="slicing",
+        )
+        it = out.first
+        assert it.lac is not None
+        assert it.lac.report.n_foa <= it.min_area.report.n_foa
+        assert it.floorplan.sequence_pair is None
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import FloorplanError
+
+        g = random_circuit("slc2", n_units=30, n_ffs=10, seed=13)
+        with pytest.raises(FloorplanError, match="backend"):
+            plan_interconnect(
+                g, seed=13, max_iterations=1, floorplan_backend="magic"
+            )
+
+
+class TestHardBlocks:
+    def test_flow_with_hard_blocks(self):
+        """Hard blocks only offer pre-located sites (paper ref [1]):
+        the flow must run and charge almost nothing to hard tiles."""
+        from repro.tiles.grid import HARD
+
+        g = random_circuit("hb", n_units=70, n_ffs=18, seed=21)
+        out = plan_interconnect(
+            g,
+            seed=21,
+            max_iterations=1,
+            n_blocks=5,
+            hard_blocks=(0, 1),
+            floorplan_iterations=600,
+        )
+        it = out.first
+        grid = it.grid
+        hard_regions = {t for t, k in grid.kind.items() if k == HARD}
+        assert hard_regions  # the hard blocks produced hard tiles
+        hard_caps = sum(grid.capacity[t] for t in hard_regions)
+        soft_caps = sum(
+            grid.capacity[t] for t, k in grid.kind.items() if k == "soft"
+        )
+        assert hard_caps < 0.2 * soft_caps  # sites are scarce
+        # LAC keeps hard tiles within their site capacity wherever it
+        # can (violations, if any, concentrate in soft/channel regions).
+        lac_hard_violations = sum(
+            v
+            for t, v in it.lac.report.violations.items()
+            if t in hard_regions
+        )
+        assert lac_hard_violations <= it.lac.report.n_foa
+        assert it.lac.report.n_foa <= it.min_area.report.n_foa
+
+
+class TestRepeaterBackends:
+    def test_tree_backend_plans_end_to_end(self):
+        g = random_circuit("tb", n_units=60, n_ffs=16, seed=29)
+        out = plan_interconnect(
+            g,
+            seed=29,
+            max_iterations=1,
+            floorplan_iterations=500,
+            repeater_backend="tree",
+        )
+        it = out.first
+        assert it.lac is not None
+        verify_retiming(it.expanded.graph, it.lac.retiming.labels, period=it.t_clk)
+        assert it.lac.report.n_foa <= it.min_area.report.n_foa
+
+    def test_unknown_repeater_backend_rejected(self):
+        from repro.errors import PlanningError
+
+        g = random_circuit("tb2", n_units=30, n_ffs=10, seed=29)
+        with pytest.raises(PlanningError, match="repeater backend"):
+            plan_interconnect(
+                g, seed=29, max_iterations=1, repeater_backend="laser"
+            )
+
+
+class TestInfeasibleIteration:
+    def test_absurd_t_clk_marks_iteration_infeasible(self):
+        """The paper's s1269 failure mode: a fixed T_clk can become
+        infeasible on a revised floorplan; the planner records it
+        instead of raising."""
+        from repro.core.planner import _run_iteration
+
+        g = random_circuit("inf", n_units=50, n_ffs=14, seed=31)
+        probe = plan_interconnect(
+            g, seed=31, max_iterations=1, floorplan_iterations=400
+        )
+        it = _run_iteration(
+            g,
+            probe.first.partition,
+            probe.first.floorplan,
+            probe.config,
+            index=2,
+            t_clk=0.01,  # below any gate delay
+        )
+        assert it.infeasible
+        assert it.lac is None

@@ -1,0 +1,56 @@
+"""Tests for reporting utilities (ASCII tables, tile-graph art)."""
+
+from repro.experiments import ascii_table, tile_graph_ascii
+from repro.floorplan import build_floorplan
+from repro.netlist import random_circuit
+from repro.partition import partition_graph
+from repro.tiles import build_tile_grid
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+        assert "long-name" in lines[3]
+
+    def test_empty_rows(self):
+        out = ascii_table(["x"], [])
+        assert "x" in out
+
+
+class TestTileGraphAscii:
+    def test_renders_all_cells(self):
+        g = random_circuit("art", n_units=50, n_ffs=15, seed=42)
+        part = partition_graph(g, 5, seed=42)
+        plan = build_floorplan(g, part, seed=42, hard_blocks=[0], iterations=500)
+        grid = build_tile_grid(plan)
+        art = tile_graph_ascii(grid, plan)
+        lines = art.splitlines()
+        assert len(lines) == grid.n_rows
+        assert all(len(line) == grid.n_cols for line in lines)
+        chars = set("".join(lines))
+        assert "#" in chars  # the hard block shows up
+        # at least one soft block letter
+        assert any(c.isalpha() for c in chars)
+
+
+class TestCongestionAscii:
+    def test_renders_usage_levels(self):
+        from repro.experiments import congestion_ascii
+        from repro.route import GlobalRouter, nets_from_graph
+
+        g = random_circuit("cg", n_units=50, n_ffs=15, seed=43)
+        part = partition_graph(g, 5, seed=43)
+        plan = build_floorplan(g, part, seed=43, iterations=500)
+        grid = build_tile_grid(plan)
+        router = GlobalRouter(grid)
+        router.route(nets_from_graph(g, grid, plan, jitter_seed=43))
+        art = congestion_ascii(router, grid)
+        lines = art.splitlines()
+        assert len(lines) == grid.n_rows
+        assert all(len(line) == grid.n_cols for line in lines)
+        used = set("".join(lines)) - {"."}
+        assert used  # something was routed
+        assert used <= set("0123456789*")

@@ -1,0 +1,81 @@
+"""Unit tests for maze-router internals on a hand-built grid."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.route.router import TRACKS, GlobalRouter, Net
+from repro.tiles.grid import CHANNEL, TileGrid
+
+
+def open_grid(cols=8, rows=5):
+    """A grid of pure channel cells."""
+    region_of_cell = {(c, r): f"ch_{c}_{r}" for c in range(cols) for r in range(rows)}
+    kind = {t: CHANNEL for t in region_of_cell.values()}
+    return TileGrid(
+        n_cols=cols,
+        n_rows=rows,
+        tile_size=1.0,
+        region_of_cell=region_of_cell,
+        kind=kind,
+        capacity={t: 10.0 for t in kind},
+        used={t: 0.0 for t in kind},
+        block_region={},
+    )
+
+
+def two_pin_net(name, a, b):
+    return Net(name=name, driver="d", sinks=["s"], driver_cell=a, sink_cells={"s": b})
+
+
+class TestMazeRoute:
+    def test_shortest_path_on_empty_grid(self):
+        router = GlobalRouter(open_grid())
+        path = router._maze_route((0, 0), (4, 0))
+        assert len(path) == 5  # manhattan-optimal
+
+    def test_same_cell(self):
+        router = GlobalRouter(open_grid())
+        assert router._maze_route((2, 2), (2, 2)) == [(2, 2)]
+
+    def test_congestion_steers_routes_apart(self):
+        """With history cost charged on a hot column, a rerouted net
+        prefers a detour."""
+        grid = open_grid()
+        router = GlobalRouter(grid, history_weight=10.0)
+        # poison the straight row between the pins
+        for c in range(1, 7):
+            router.history[(c, 2)] = 5.0
+        path = router._maze_route((0, 2), (7, 2))
+        assert any(cell[1] != 2 for cell in path[1:-1])  # detoured
+
+    def test_track_capacity_by_kind(self):
+        grid = open_grid()
+        router = GlobalRouter(grid)
+        assert router.track_capacity((0, 0)) == TRACKS[CHANNEL]
+
+
+class TestRouteAccounting:
+    def test_usage_counts_each_net_once_per_cell(self):
+        grid = open_grid()
+        router = GlobalRouter(grid)
+        routed = router.route([two_pin_net("n1", (0, 0), (3, 0))])
+        for cell in routed["n1"].cells:
+            assert router.usage[cell] == 1
+
+    def test_overflow_detection(self):
+        grid = open_grid(cols=4, rows=1)  # single row: all nets collide
+        router = GlobalRouter(grid)
+        nets = [
+            two_pin_net(f"n{i}", (0, 0), (3, 0))
+            for i in range(TRACKS[CHANNEL] + 3)
+        ]
+        router.route(nets, rrr_passes=0)
+        assert router.overflowed_cells()
+
+    def test_congestion_summary_keys(self):
+        grid = open_grid()
+        router = GlobalRouter(grid)
+        router.route([two_pin_net("n1", (0, 0), (2, 2))])
+        summary = router.congestion_summary()
+        assert set(summary) == {"used_cells", "overflowed_cells", "max_usage"}
+        assert summary["max_usage"] >= 1

@@ -1,0 +1,185 @@
+"""Tests for the gate-level simulator and netlist retiming transform.
+
+The headline test simulates s27 against retimed versions of itself
+(labels from real min-period / min-area runs on the retiming graph)
+and checks behavioural equivalence modulo unknown power-up state —
+the paper's "correct system behaviors are guaranteed" claim, verified
+end to end.
+"""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import bench_to_graph, parse_bench_text, s27_graph
+from repro.netlist.s27 import S27_BENCH
+from repro.netlist.retime_bench import register_count, retime_bench
+from repro.netlist.sim import (
+    LogicSimulator,
+    X,
+    equivalent_streams,
+    random_input_stream,
+)
+
+COUNTER = """
+INPUT(en)
+OUTPUT(q0)
+OUTPUT(q1)
+q0 = DFF(n0)
+q1 = DFF(n1)
+n0 = XOR(q0, en)
+carry = AND(q0, en)
+n1 = XOR(q1, carry)
+"""
+
+
+def s27_netlist():
+    return parse_bench_text(S27_BENCH, name="s27")
+
+
+class TestSimulator:
+    def test_combinational_truth_table(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n"
+        sim = LogicSimulator(parse_bench_text(text))
+        for a, b, expect in [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]:
+            out = sim.step({"a": a, "b": b})
+            assert out["y"] == expect
+
+    def test_three_valued_rules(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n"
+        sim = LogicSimulator(parse_bench_text(text))
+        out = sim.step({"a": 0, "b": X})
+        assert out["y"] == 0  # 0 AND X = 0
+        assert out["z"] == X  # 0 OR X = X
+        out = sim.step({"a": 1, "b": X})
+        assert out["y"] == X
+        assert out["z"] == 1
+
+    def test_counter_counts(self):
+        netlist = parse_bench_text(COUNTER, name="counter")
+        sim = LogicSimulator(netlist)
+        # flush unknown state: en=0 keeps X (XOR with X stays X), so
+        # first define the state by... XOR(X,0)=X: the counter never
+        # self-initialises. Force it by checking from a known state.
+        sim.state = {"q0": 0, "q1": 0}
+        seen = []
+        for _ in range(5):
+            out = sim.step({"en": 1})
+            seen.append((out["q1"], out["q0"]))
+        # counts 0,1,2,3,0 as (q1,q0) pairs read before the edge
+        assert seen == [(0, 0), (0, 1), (1, 0), (1, 1), (0, 0)]
+
+    def test_dffs_power_up_unknown(self):
+        sim = LogicSimulator(s27_netlist())
+        assert all(v == X for v in sim.state.values())
+
+    def test_missing_input_rejected(self):
+        sim = LogicSimulator(s27_netlist())
+        with pytest.raises(NetlistError, match="missing input"):
+            sim.step({"G0": 1})
+
+    def test_reset(self):
+        netlist = parse_bench_text(COUNTER, name="counter")
+        sim = LogicSimulator(netlist)
+        sim.state = {"q0": 0, "q1": 1}
+        sim.reset()
+        assert all(v == X for v in sim.state.values())
+
+    def test_s27_settles_from_unknown(self):
+        netlist = s27_netlist()
+        sim = LogicSimulator(netlist)
+        stream = random_input_stream(netlist, 20, seed=3)
+        outs = sim.run(stream)
+        assert outs[-1]["G17"] in (0, 1)
+
+
+class TestEquivalenceChecker:
+    def test_identical_streams(self):
+        a = [{"y": 0}, {"y": 1}]
+        assert equivalent_streams(a, list(a))
+
+    def test_x_is_wildcard(self):
+        a = [{"y": X}, {"y": 1}]
+        b = [{"y": 0}, {"y": 1}]
+        assert equivalent_streams(a, b)
+
+    def test_conflict_detected(self):
+        a = [{"y": 0}, {"y": 1}]
+        b = [{"y": 0}, {"y": 0}]
+        assert not equivalent_streams(a, b)
+
+    def test_never_settling_rejected(self):
+        a = [{"y": X}, {"y": X}]
+        b = [{"y": 0}, {"y": 1}]
+        assert not equivalent_streams(a, b)
+        assert equivalent_streams(a, b, require_settled=False)
+
+    def test_positional_matching(self):
+        a = [{"y": 1}]
+        b = [{"z": 1}]
+        assert equivalent_streams(a, b, outputs_a=["y"], outputs_b=["z"])
+
+
+class TestRetimeBench:
+    def test_identity_labels_change_nothing_behaviourally(self):
+        netlist = s27_netlist()
+        out = retime_bench(netlist, {})
+        assert register_count(out) == register_count(netlist)
+        stream = random_input_stream(netlist, 30, seed=1)
+        a = LogicSimulator(netlist).run(stream)
+        b = LogicSimulator(out).run(stream)
+        assert equivalent_streams(
+            a, b, outputs_a=netlist.outputs, outputs_b=out.outputs
+        )
+
+    def test_illegal_labels_rejected(self):
+        netlist = s27_netlist()
+        # G14 = NOT(G0) with no registers on G0 -> pulling one off the
+        # input edge is illegal.
+        with pytest.raises(NetlistError, match="negative"):
+            retime_bench(netlist, {"G14": 1})
+
+    def test_fanout_chains_shared(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        OUTPUT(z)
+        p = DFF(a)
+        y = BUF(p)
+        z = NOT(p)
+        """
+        netlist = parse_bench_text(text)
+        out = retime_bench(netlist, {})
+        # one register serves both fanouts
+        assert register_count(out) == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_s27_retimings_behaviourally_equivalent(self, seed):
+        """The headline check: real retimings preserve s27's behavior."""
+        from repro.retime import min_area_retiming, min_period_retiming
+
+        netlist = s27_netlist()
+        graph = s27_graph()
+        if seed == 0:
+            _t, result = min_period_retiming(graph)
+            labels = result.labels
+        else:
+            from repro.retime import clock_period
+
+            labels = min_area_retiming(
+                graph, clock_period(graph) + seed
+            ).labels
+        gate_labels = {
+            net: labels.get(net, 0) for net in netlist.gates
+        }
+        transformed = retime_bench(netlist, gate_labels)
+
+        stream = random_input_stream(netlist, 40, seed=seed + 10)
+        a = LogicSimulator(netlist).run(stream)
+        b = LogicSimulator(transformed).run(stream)
+        assert equivalent_streams(
+            a,
+            b,
+            outputs_a=netlist.outputs,
+            outputs_b=transformed.outputs,
+            require_settled=False,
+        )

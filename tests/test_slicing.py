@@ -1,0 +1,97 @@
+"""Tests for the slicing-tree floorplanner backend."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import Block
+from repro.floorplan.sequence_pair import overlaps
+from repro.floorplan.slicing import SlicingFloorplanner, _is_normalised
+
+
+def square_blocks(n, area=16.0):
+    return [Block(name=f"B{i}", unit_area=area, whitespace=0.0) for i in range(n)]
+
+
+class TestNormalisation:
+    def test_valid_expression(self):
+        assert _is_normalised(["a", "b", "V", "c", "H"], 3)
+
+    def test_balloting_violation(self):
+        assert not _is_normalised(["a", "V", "b", "c", "H"], 3)
+
+    def test_adjacent_identical_operators(self):
+        assert not _is_normalised(["a", "b", "c", "V", "V"], 3)
+        # identical operators separated by an operand are fine
+        assert _is_normalised(["a", "b", "V", "c", "V"], 3)
+
+    def test_incomplete(self):
+        assert not _is_normalised(["a", "b"], 2)
+
+
+class TestSlicingFloorplanner:
+    def test_two_blocks(self):
+        fp = SlicingFloorplanner(square_blocks(2), seed=0)
+        placements, w, h = fp.run(iterations=300)
+        assert len(placements) == 2
+        assert not overlaps(placements)
+        assert w * h >= 32.0  # at least the total block area
+
+    def test_no_overlaps_and_in_bounds(self):
+        fp = SlicingFloorplanner(square_blocks(9), seed=1)
+        placements, w, h = fp.run(iterations=1200)
+        assert not overlaps(placements)
+        for p in placements:
+            assert p.x2 <= w + 1e-9
+            assert p.y2 <= h + 1e-9
+
+    def test_reasonable_packing(self):
+        blocks = square_blocks(8)
+        fp = SlicingFloorplanner(blocks, seed=2)
+        _placements, w, h = fp.run(iterations=1500)
+        total = sum(b.outline_area for b in blocks)
+        assert w * h <= 1.5 * total
+
+    def test_hard_block_shape_fixed(self):
+        hard = Block(name="HARD", unit_area=32.0, hard=True, aspect=2.0)
+        fp = SlicingFloorplanner([hard] + square_blocks(3), seed=3)
+        placements, _w, _h = fp.run(iterations=600)
+        placed = next(p for p in placements if p.name == "HARD")
+        assert placed.width == pytest.approx(hard.width)
+        assert placed.height == pytest.approx(hard.height)
+
+    def test_every_block_placed_once(self):
+        blocks = square_blocks(6)
+        fp = SlicingFloorplanner(blocks, seed=4)
+        placements, _w, _h = fp.run(iterations=500)
+        assert sorted(p.name for p in placements) == sorted(b.name for b in blocks)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FloorplanError):
+            SlicingFloorplanner([])
+
+    def test_deterministic(self):
+        a = SlicingFloorplanner(square_blocks(5), seed=7).run(400)
+        b = SlicingFloorplanner(square_blocks(5), seed=7).run(400)
+        assert a[1:] == b[1:]
+        assert [(p.name, p.x, p.y) for p in a[0]] == [
+            (p.name, p.x, p.y) for p in b[0]
+        ]
+
+    def test_comparable_to_sequence_pair(self):
+        """Both backends should pack a mixed block set within ~40% of
+        the total area (sanity parity check)."""
+        import random
+
+        from repro.floorplan import SequencePairAnnealer
+
+        rng = random.Random(5)
+        blocks = [
+            Block(name=f"B{i}", unit_area=rng.uniform(8, 60), whitespace=0.1)
+            for i in range(8)
+        ]
+        total = sum(b.outline_area for b in blocks)
+        _pl_s, w_s, h_s = SlicingFloorplanner(blocks, seed=5).run(1500)
+        annealer = SequencePairAnnealer(blocks, seed=5)
+        _pl_q, w_q, h_q = annealer.run(1500)
+        assert w_s * h_s <= 1.45 * total
+        assert w_q * h_q <= 1.45 * total

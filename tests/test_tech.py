@@ -1,0 +1,55 @@
+"""Tests for technology constants and delay models."""
+
+import math
+
+import pytest
+
+from repro.tech import DEFAULT_TECH, Technology
+
+
+class TestLMax:
+    def test_lmax_from_slew_budget(self):
+        t = Technology(slew_budget=1.0, r_wire=0.05, c_wire=0.08)
+        expected = math.sqrt(2.0 * 1.0 / (math.log(9.0) * 0.05 * 0.08))
+        assert t.l_max_mm == pytest.approx(expected)
+
+    def test_lmax_tiles_at_least_one(self):
+        t = Technology(slew_budget=0.0001, tile_size=10.0)
+        assert t.l_max_tiles == 1
+
+    def test_tighter_slew_shorter_interval(self):
+        loose = Technology(slew_budget=1.0)
+        tight = Technology(slew_budget=0.2)
+        assert tight.l_max_mm < loose.l_max_mm
+
+
+class TestDelays:
+    def test_wire_delay_quadratic_in_length(self):
+        t = DEFAULT_TECH
+        d1 = t.wire_delay(4.0)
+        d2 = t.wire_delay(8.0)
+        assert d2 == pytest.approx(4.0 * d1)
+
+    def test_wire_delay_with_load(self):
+        t = DEFAULT_TECH
+        assert t.wire_delay(4.0, load_pf=1.0) > t.wire_delay(4.0)
+
+    def test_segment_delay_includes_repeater(self):
+        t = DEFAULT_TECH
+        assert t.segment_delay(4.0) > t.wire_delay(4.0, t.c_repeater)
+        assert t.segment_delay(0.0) == pytest.approx(
+            t.repeater_delay + t.r_repeater * t.c_repeater
+        )
+
+    def test_buffered_beats_unbuffered_for_long_wires(self):
+        """The reason repeaters exist: two buffered halves beat one
+        unbuffered run for long enough wires."""
+        t = DEFAULT_TECH
+        length = 4 * t.l_max_mm
+        unbuffered = t.wire_delay(length, t.c_repeater)
+        split = 2 * t.segment_delay(length / 2)
+        assert split < unbuffered
+
+    def test_immutability(self):
+        with pytest.raises(Exception):
+            DEFAULT_TECH.ff_area = 1.0

@@ -1,0 +1,113 @@
+"""Tests for the tile grid and capacity regions."""
+
+import pytest
+
+from repro.floorplan import build_floorplan
+from repro.netlist import random_circuit
+from repro.partition import partition_graph
+from repro.tech import Technology
+from repro.tiles import CHANNEL, HARD, SOFT, build_tile_grid
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = random_circuit("tg", n_units=60, n_ffs=20, seed=11)
+    part = partition_graph(g, 6, seed=11)
+    plan = build_floorplan(g, part, seed=11, iterations=600)
+    grid = build_tile_grid(plan)
+    return g, plan, grid
+
+
+@pytest.fixture(scope="module")
+def setup_hard():
+    g = random_circuit("tgh", n_units=60, n_ffs=20, seed=12)
+    part = partition_graph(g, 6, seed=12)
+    plan = build_floorplan(g, part, seed=12, hard_blocks=[0, 1], iterations=600)
+    grid = build_tile_grid(plan)
+    return g, plan, grid
+
+
+class TestStructure:
+    def test_grid_covers_chip(self, setup):
+        _g, plan, grid = setup
+        assert grid.n_cols * grid.tile_size >= plan.chip_width
+        assert grid.n_rows * grid.tile_size >= plan.chip_height
+        assert len(grid.region_of_cell) == grid.n_cols * grid.n_rows
+
+    def test_soft_blocks_merge_to_one_region(self, setup):
+        _g, plan, grid = setup
+        for name, block in plan.blocks.items():
+            if block.hard:
+                continue
+            assert grid.block_region[name] == f"blk_{name}"
+            assert grid.kind[f"blk_{name}"] == SOFT
+
+    def test_soft_region_capacity_is_block_capacity(self, setup):
+        _g, plan, grid = setup
+        for name, block in plan.blocks.items():
+            if not block.hard and name in grid.block_region:
+                region = grid.block_region[name]
+                assert grid.capacity[region] == pytest.approx(block.capacity)
+
+    def test_hard_blocks_get_per_cell_regions(self, setup_hard):
+        _g, plan, grid = setup_hard
+        hard_regions = [t for t, k in grid.kind.items() if k == HARD]
+        assert hard_regions
+        hard_names = {n for n, b in plan.blocks.items() if b.hard}
+        total_sites = sum(plan.blocks[n].site_capacity for n in hard_names)
+        got = sum(grid.capacity[t] for t in hard_regions)
+        assert got == pytest.approx(total_sites, rel=0.01)
+
+    def test_channel_capacity_positive_somewhere(self, setup):
+        _g, _plan, grid = setup
+        channels = [t for t, k in grid.kind.items() if k == CHANNEL]
+        if channels:  # tight packings may have no channel cells
+            assert any(grid.capacity[t] > 0 for t in channels)
+
+    def test_point_lookup_roundtrip(self, setup):
+        _g, _plan, grid = setup
+        cell = (grid.n_cols // 2, grid.n_rows // 2)
+        x, y = grid.center_of_cell(cell)
+        assert grid.cell_of_point(x, y) == cell
+        assert grid.region_of_point(x, y) == grid.region_of_cell[cell]
+
+    def test_neighbours_stay_in_grid(self, setup):
+        _g, _plan, grid = setup
+        for cell in [(0, 0), (grid.n_cols - 1, grid.n_rows - 1)]:
+            for c, r in grid.neighbours(cell):
+                assert 0 <= c < grid.n_cols
+                assert 0 <= r < grid.n_rows
+        assert len(list(grid.neighbours((0, 0)))) == 2
+
+    def test_manhattan_mm(self, setup):
+        _g, _plan, grid = setup
+        assert grid.manhattan_mm((0, 0), (2, 3)) == pytest.approx(5 * grid.tile_size)
+
+
+class TestCapacityAccounting:
+    def test_reserve_and_release(self, setup):
+        _g, _plan, grid = setup
+        region = next(iter(grid.block_region.values()))
+        before = grid.remaining(region)
+        assert grid.reserve(region, 1.0)
+        assert grid.remaining(region) == pytest.approx(before - 1.0)
+        grid.release(region, 1.0)
+        assert grid.remaining(region) == pytest.approx(before)
+
+    def test_overfill_reports_false_but_counts(self, setup):
+        _g, _plan, grid = setup
+        region = next(iter(grid.block_region.values()))
+        snapshot = grid.snapshot_usage()
+        big = grid.capacity[region] + 5.0
+        assert not grid.reserve(region, big)
+        assert grid.overflow(region) == pytest.approx(5.0)
+        assert grid.total_overflow() >= 5.0
+        grid.restore_usage(snapshot)
+        assert grid.overflow(region) == 0.0
+
+    def test_reset_usage(self, setup):
+        _g, _plan, grid = setup
+        region = next(iter(grid.block_region.values()))
+        grid.reserve(region, 2.0)
+        grid.reset_usage()
+        assert all(u == 0.0 for u in grid.used.values())

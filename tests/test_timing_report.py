@@ -1,0 +1,65 @@
+"""Tests for the timing-analysis reporting module."""
+
+import pytest
+
+from repro.core.timing import timing_report
+from repro.netlist import CircuitGraph
+from repro.retime import clock_period
+from tests.test_wd import correlator
+
+
+def chain():
+    g = CircuitGraph()
+    g.add_unit("a", delay=1.0)
+    g.add_unit("b", delay=2.0)
+    g.add_unit("c", delay=3.0)
+    g.add_connection("a", "b", weight=0)
+    g.add_connection("b", "c", weight=0)
+    return g
+
+
+class TestTimingReport:
+    def test_arrivals_and_slack(self):
+        report = timing_report(chain(), period=10.0)
+        assert report.arrivals == {"a": 1.0, "b": 3.0, "c": 6.0}
+        assert report.worst_arrival == 6.0
+        assert report.worst_slack == pytest.approx(4.0)
+        assert report.met
+        assert report.slack("b") == pytest.approx(7.0)
+
+    def test_violated_period(self):
+        report = timing_report(chain(), period=5.0)
+        assert not report.met
+        assert report.worst_slack == pytest.approx(-1.0)
+
+    def test_critical_path_traced(self):
+        report = timing_report(chain(), period=10.0)
+        assert report.critical_path == ["a", "b", "c"]
+
+    def test_correlator_matches_clock_period(self):
+        g = correlator()
+        report = timing_report(g, period=30.0)
+        assert report.worst_arrival == pytest.approx(clock_period(g))
+        # known critical chain: c4 -> a3 -> a2 -> a1 (possibly extended
+        # by the zero-delay host, which shares the worst arrival).
+        assert {"a3", "a2", "a1"} <= set(report.critical_path)
+
+    def test_histogram_covers_all_units(self):
+        g = correlator()
+        report = timing_report(g, period=30.0)
+        assert sum(c for _lo, _hi, c in report.slack_histogram()) == g.num_units
+
+    def test_format_contains_key_fields(self):
+        report = timing_report(chain(), period=10.0)
+        text = report.format()
+        assert "target period" in text
+        assert "MET" in text
+        assert "a -> b -> c" in text
+
+    def test_uniform_slack_single_bin(self):
+        g = CircuitGraph()
+        g.add_unit("only", delay=2.0)
+        report = timing_report(g, period=4.0)
+        hist = report.slack_histogram()
+        assert len(hist) == 1
+        assert hist[0][2] == 1

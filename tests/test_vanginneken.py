@@ -1,0 +1,163 @@
+"""Tests for van Ginneken tree buffering."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.repeater.insertion import insert_repeaters
+from repro.repeater.vanginneken import buffer_all_trees, buffer_tree
+from repro.route.router import Net, RoutedNet
+from repro.tech import DEFAULT_TECH, Technology
+
+
+def straight_net(length: int):
+    """A 2-pin net along a straight row of cells."""
+    path = [(i, 0) for i in range(length)]
+    net = Net(
+        name="n",
+        driver="d",
+        sinks=["s"],
+        driver_cell=path[0],
+        sink_cells={"s": path[-1]},
+    )
+    return RoutedNet(net=net, cells=set(path), paths={"s": path})
+
+
+def star_net(arm: int):
+    """Driver in the centre-left, two sinks sharing a long trunk."""
+    trunk = [(i, 0) for i in range(arm)]
+    up = trunk + [(arm - 1, 1), (arm - 1, 2)]
+    down = trunk + [(arm, 0), (arm + 1, 0)]
+    net = Net(
+        name="star",
+        driver="d",
+        sinks=["a", "b"],
+        driver_cell=trunk[0],
+        sink_cells={"a": up[-1], "b": down[-1]},
+    )
+    return RoutedNet(
+        net=net, cells=set(up) | set(down), paths={"a": up, "b": down}
+    )
+
+
+class TestStraightNets:
+    def test_short_net_needs_no_buffer(self):
+        result = buffer_tree(straight_net(2), DEFAULT_TECH)
+        assert result.n_buffers == 0
+
+    def test_long_net_gets_buffers(self):
+        length = 4 * DEFAULT_TECH.l_max_tiles
+        result = buffer_tree(straight_net(length), DEFAULT_TECH)
+        assert result.n_buffers >= 2
+
+    def test_lmax_respected(self):
+        """No unbuffered run longer than L_max along the path."""
+        tech = DEFAULT_TECH
+        length = 5 * tech.l_max_tiles
+        routed = straight_net(length)
+        result = buffer_tree(routed, tech)
+        path = routed.paths["s"]
+        buffer_cells = result.buffer_cells
+        run = 0
+        for cell in path[1:]:
+            run += 1
+            if cell in buffer_cells:
+                run = 0
+            assert run <= tech.l_max_tiles
+
+    def test_competitive_with_path_dp(self):
+        """On a 2-pin net the tree algorithm should be in the same
+        delay ballpark as the path DP (models differ slightly in how
+        the driver and sink stages are counted)."""
+        from repro.tiles.grid import TileGrid
+
+        tech = DEFAULT_TECH
+        length = 4 * tech.l_max_tiles
+        routed = straight_net(length)
+        tree = buffer_tree(routed, tech)
+
+        grid = TileGrid(
+            n_cols=length,
+            n_rows=1,
+            tile_size=tech.tile_size,
+            region_of_cell={(i, 0): "t" for i in range(length)},
+            kind={"t": "channel"},
+            capacity={"t": 1e9},
+            used={"t": 0.0},
+            block_region={},
+        )
+        chain = insert_repeaters(
+            routed.paths["s"], grid, tech, reserve=False
+        )
+        assert tree.worst_delay <= 1.5 * chain.total_delay + 0.2
+
+    def test_worst_delay_monotone_in_length(self):
+        tech = DEFAULT_TECH
+        short = buffer_tree(straight_net(2 * tech.l_max_tiles), tech)
+        long = buffer_tree(straight_net(6 * tech.l_max_tiles), tech)
+        assert long.worst_delay > short.worst_delay
+
+
+class TestTrees:
+    def test_star_buffers_shared_on_trunk(self):
+        tech = DEFAULT_TECH
+        arm = 3 * tech.l_max_tiles
+        result = buffer_tree(star_net(arm), tech)
+        # independent per-sink buffering would need ~2x the buffers of
+        # a shared-trunk solution
+        trunk_cells = {(i, 0) for i in range(arm)}
+        assert any(b in trunk_cells for b in result.buffer_cells)
+
+    def test_buffer_all_trees(self):
+        tech = DEFAULT_TECH
+        nets = {
+            "a": straight_net(3 * tech.l_max_tiles),
+            "b": star_net(2 * tech.l_max_tiles),
+        }
+        out = buffer_all_trees(nets, tech)
+        assert set(out) == {"a", "b"}
+        assert all(r.worst_delay >= 0 for r in out.values())
+
+    def test_single_cell_net(self):
+        path = [(0, 0)]
+        net = Net(
+            name="t",
+            driver="d",
+            sinks=["s"],
+            driver_cell=path[0],
+            sink_cells={"s": path[0]},
+        )
+        routed = RoutedNet(net=net, cells=set(path), paths={"s": path})
+        result = buffer_tree(routed, DEFAULT_TECH)
+        assert result.n_buffers == 0
+
+
+class TestBufferLibrary:
+    def test_default_library_scaling(self):
+        from repro.repeater.vanginneken import default_library
+
+        lib = default_library(DEFAULT_TECH, sizes=(1, 2, 4))
+        assert [b.name for b in lib] == ["buf_x1", "buf_x2", "buf_x4"]
+        assert lib[2].resistance == pytest.approx(lib[0].resistance / 4)
+        assert lib[2].capacitance == pytest.approx(4 * lib[0].capacitance)
+        assert lib[2].area == pytest.approx(4 * lib[0].area)
+
+    def test_bigger_library_never_hurts_delay(self):
+        from repro.repeater.vanginneken import default_library
+
+        tech = DEFAULT_TECH
+        routed = straight_net(5 * tech.l_max_tiles)
+        single = buffer_tree(routed, tech)
+        multi = buffer_tree(
+            routed, tech, library=default_library(tech, sizes=(1, 2, 4))
+        )
+        assert multi.worst_delay <= single.worst_delay + 1e-9
+
+    def test_total_area_accounting(self):
+        from repro.repeater.vanginneken import default_library
+
+        tech = DEFAULT_TECH
+        lib = default_library(tech, sizes=(1, 2))
+        routed = straight_net(4 * tech.l_max_tiles)
+        result = buffer_tree(routed, tech, library=lib)
+        area = result.total_area(lib)
+        assert area >= result.n_buffers * tech.repeater_area

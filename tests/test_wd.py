@@ -1,0 +1,125 @@
+"""Tests for W/D matrix computation, including the Leiserson-Saxe
+correlator example and fast-vs-reference cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RetimingError
+from repro.netlist import CircuitGraph, random_circuit
+from repro.retime import candidate_periods, wd_matrices, wd_matrices_reference
+
+
+def correlator():
+    """A correlator in the style of Leiserson & Saxe's Fig. 1.
+
+    Vertices: host h (delay 0), adders a1..a3 (delay 7 each),
+    comparators c1..c4 (delay 3 each); four registers along the
+    comparator chain. We model the single host as a plain zero-delay
+    logic unit here because the correlator is a pure cycle (the
+    split-host model is for open circuits). Reference values asserted
+    below are derived by hand / brute force for exactly this graph.
+    """
+    g = CircuitGraph("correlator")
+    g.add_unit("h", delay=0.0)
+    for i in range(1, 5):
+        g.add_unit(f"c{i}", delay=3.0)
+    for i in range(1, 4):
+        g.add_unit(f"a{i}", delay=7.0)
+    g.add_connection("h", "c1", weight=1)
+    g.add_connection("c1", "c2", weight=1)
+    g.add_connection("c2", "c3", weight=1)
+    g.add_connection("c3", "c4", weight=1)
+    g.add_connection("c4", "a3", weight=0)
+    g.add_connection("a3", "a2", weight=0)
+    g.add_connection("a2", "a1", weight=0)
+    g.add_connection("a1", "h", weight=0)
+    g.add_connection("c1", "a1", weight=0)
+    g.add_connection("c2", "a2", weight=0)
+    g.add_connection("c3", "a3", weight=0)
+    return g
+
+
+class TestCorrelator:
+    def test_known_values(self):
+        g = correlator()
+        wd = wd_matrices(g)
+        i = wd.index
+        # Longest zero-weight path: c4 -> a3 -> a2 -> a1 (3 + 3*7 = 24).
+        assert wd.w[i["c4"], i["a1"]] == 0
+        assert wd.d[i["c4"], i["a1"]] == 24.0
+        # h to c2 must pass two registers (h -> c1 -> c2).
+        assert wd.w[i["h"], i["c2"]] == 2
+        # Diagonal: empty path.
+        assert wd.w[i["h"], i["h"]] == 0
+        assert wd.d[i["c1"], i["c1"]] == 3.0
+
+    def test_candidate_periods_contains_optimum(self):
+        g = correlator()
+        wd = wd_matrices(g)
+        # The correlator's known minimum period is 13.
+        assert 13.0 in candidate_periods(wd)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_circuits_match(self, seed):
+        g = random_circuit("rnd", n_units=30, n_ffs=25, seed=seed)
+        fast = wd_matrices(g)
+        ref = wd_matrices_reference(g)
+        assert fast.order == ref.order
+        both = np.isfinite(fast.w) & np.isfinite(ref.w)
+        assert (np.isfinite(fast.w) == np.isfinite(ref.w)).all()
+        assert np.array_equal(fast.w[both], ref.w[both])
+        assert np.allclose(fast.d[both], ref.d[both])
+
+    def test_s27_matches(self):
+        from repro.netlist import s27_graph
+
+        g = s27_graph()
+        fast = wd_matrices(g)
+        ref = wd_matrices_reference(g)
+        both = np.isfinite(fast.w)
+        assert (both == np.isfinite(ref.w)).all()
+        assert np.array_equal(fast.w[both], ref.w[both])
+        assert np.allclose(fast.d[both], ref.d[both])
+
+
+class TestDegenerateGraphs:
+    def test_zero_weight_cycle_raises(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=1.0)
+        g.add_unit("b", delay=1.0)
+        g.add_connection("a", "b", weight=0)
+        g.add_connection("b", "a", weight=0)
+        with pytest.raises(RetimingError, match="zero-weight cycle"):
+            wd_matrices(g)
+
+    def test_disconnected_pairs_are_inf(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=1.0)
+        g.add_unit("b", delay=1.0)
+        wd = wd_matrices(g)
+        assert np.isinf(wd.w[wd.index["a"], wd.index["b"]])
+
+    def test_pairs_exceeding_ignores_unreachable(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=5.0)
+        g.add_unit("b", delay=5.0)
+        wd = wd_matrices(g)
+        assert wd.pairs_exceeding(1.0) == []
+
+    def test_single_unit(self):
+        g = CircuitGraph()
+        g.add_unit("only", delay=2.0)
+        wd = wd_matrices(g)
+        assert wd.max_vertex_delay() == 2.0
+        assert candidate_periods(wd) == [2.0]
+
+    def test_parallel_edges_take_min_weight(self):
+        g = CircuitGraph()
+        g.add_unit("a", delay=1.0)
+        g.add_unit("b", delay=1.0)
+        g.add_connection("a", "b", weight=3)
+        g.add_connection("a", "b", weight=1)
+        wd = wd_matrices(g)
+        assert wd.w[wd.index["a"], wd.index["b"]] == 1
