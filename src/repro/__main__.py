@@ -17,32 +17,81 @@ import argparse
 import sys
 
 
+#: ``plan`` exit codes: 0 converged, 1 not converged, 2 usage/flow
+#: error, 3 target period infeasible.
+EXIT_OK = 0
+EXIT_NOT_CONVERGED = 1
+EXIT_ERROR = 2
+EXIT_INFEASIBLE = 3
+
+
 def _cmd_plan(args) -> int:
     from repro.core import plan_interconnect
+    from repro.errors import ReproError
     from repro.experiments import get_circuit
     from repro.netlist import s27_graph
+    from repro.resilience import default_resilience
 
     if args.circuit == "s27":
         graph = s27_graph()
         seed, whitespace = 1, 0.4
     else:
-        spec = get_circuit(args.circuit)
+        try:
+            spec = get_circuit(args.circuit)
+        except KeyError:
+            print(
+                f"error: unknown circuit {args.circuit!r} "
+                "(see `python -m repro circuits`)",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
         graph = spec.build()
         seed, whitespace = spec.seed, spec.whitespace
-    outcome = plan_interconnect(
-        graph,
-        seed=seed,
-        whitespace=whitespace,
-        max_iterations=args.iterations,
-    )
+
+    resilience = default_resilience()
+    if args.stage_timeout is not None:
+        resilience = resilience.with_timeout(args.stage_timeout)
+    if args.no_degrade:
+        resilience.degrade_t_clk = False
+
+    try:
+        outcome = plan_interconnect(
+            graph,
+            seed=seed,
+            whitespace=whitespace,
+            max_iterations=args.iterations,
+            resilience=resilience,
+        )
+    except ReproError as exc:
+        print(f"error: planning {args.circuit} failed: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     print(outcome.report())
-    return 0 if outcome.converged else 1
+    if outcome.converged:
+        return EXIT_OK
+    if outcome.final.infeasible:
+        print(
+            f"{args.circuit}: target period infeasible "
+            "(no achievable retiming at T_clk)",
+            file=sys.stderr,
+        )
+        return EXIT_INFEASIBLE
+    print(
+        f"{args.circuit}: not converged "
+        "(local area violations remain after planning iterations)",
+        file=sys.stderr,
+    )
+    return EXIT_NOT_CONVERGED
 
 
 def _cmd_table1(args) -> int:
     from repro.experiments.table1 import main as table1_main
 
-    return table1_main(args.names)
+    argv = list(args.names)
+    if args.quick:
+        argv.append("--quick")
+    for fault in args.inject_fault:
+        argv += ["--inject-fault", fault]
+    return table1_main(argv)
 
 
 def _cmd_verify(_args) -> int:
@@ -95,10 +144,34 @@ def main(argv=None) -> int:
     p_plan = sub.add_parser("plan", help="plan one benchmark circuit")
     p_plan.add_argument("circuit", help="circuit name (s27 or a Table-1 name)")
     p_plan.add_argument("--iterations", type=int, default=2)
+    p_plan.add_argument(
+        "--stage-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per stage attempt",
+    )
+    p_plan.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="mark infeasible T_clk iterations instead of relaxing the period",
+    )
     p_plan.set_defaults(func=_cmd_plan)
 
-    p_table = sub.add_parser("table1", help="regenerate Table 1")
+    p_table = sub.add_parser(
+        "table1",
+        help="regenerate Table 1 (fault-isolated: failing circuits are "
+        "reported, not fatal)",
+    )
     p_table.add_argument("names", nargs="*", help="subset of circuit names")
+    p_table.add_argument("--quick", action="store_true", help="fast smoke run")
+    p_table.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="CIRCUIT:STAGE",
+        help="deterministically fail STAGE for CIRCUIT (testing harness)",
+    )
     p_table.set_defaults(func=_cmd_table1)
 
     p_verify = sub.add_parser("verify", help="simulate retimed s27 vs original")

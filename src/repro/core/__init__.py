@@ -16,6 +16,7 @@ from repro.core.planner import (
     PlanningOutcome,
     TimedRetiming,
     plan_interconnect,
+    validate_planner_config,
 )
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "PlanningOutcome",
     "TimedRetiming",
     "plan_interconnect",
+    "validate_planner_config",
     "validate_iteration",
     "TimingReport",
     "timing_report",

@@ -46,6 +46,13 @@ def flow_report_markdown(outcome: PlanningOutcome) -> str:
             f"{it.expanded.n_connections_expanded} connections expanded)",
             "",
         ]
+        if it.degraded and it.t_clk_requested is not None:
+            lines += [
+                f"**Degraded:** requested T_clk = {it.t_clk_requested:.3f} "
+                f"was infeasible; retimed at the relaxed period "
+                f"{it.t_clk:.3f}.",
+                "",
+            ]
         if it.infeasible:
             lines += ["**T_clk infeasible after floorplan expansion.**", ""]
             continue
@@ -82,6 +89,16 @@ def flow_report_markdown(outcome: PlanningOutcome) -> str:
             if len(ordered) > 20:
                 lines.append(f"| ... {len(ordered) - 20} more regions | | |")
             lines.append("")
+
+    if outcome.ledger.records:
+        lines += [
+            "## Resilience ledger",
+            "",
+            "```",
+            outcome.ledger.format(verbose=True),
+            "```",
+            "",
+        ]
 
     final = outcome.final
     if not final.infeasible and final.lac is not None:

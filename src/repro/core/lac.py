@@ -94,6 +94,10 @@ def lac_retiming(
     """
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    if n_max < 1:
+        raise ValueError(f"n_max must be >= 1, got {n_max}")
     if system is None:
         if wd is None:
             wd = wd_matrices(graph)

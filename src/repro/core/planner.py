@@ -16,8 +16,17 @@ One *interconnect planning* iteration runs, inside physical planning:
 If LAC-retiming leaves area violations, a second planning iteration
 expands the congested soft blocks and repeats steps 2–8 with the same
 ``T_clk`` (which, as the paper observes for s1269, can become
-infeasible after a drastic floorplan change — that outcome is captured
-rather than raised).
+infeasible after a drastic floorplan change).
+
+Every stage executes through the :mod:`repro.resilience` layer: a
+:class:`~repro.resilience.runner.StageRunner` applies per-stage
+policies (bounded retries with seed perturbation for the stochastic
+stages, optional wall-clock deadlines, fallback chains such as the
+``tree`` repeater backend falling back to ``path``), and an infeasible
+``T_clk`` degrades gracefully — the period is relaxed toward
+``T_init`` and the iteration is marked ``degraded`` instead of being
+abandoned. The full attempt history lands in the outcome's
+:class:`~repro.resilience.ledger.RunLedger`.
 """
 
 from __future__ import annotations
@@ -33,6 +42,11 @@ from repro.floorplan.plan import Floorplan, build_floorplan, expand_floorplan
 from repro.netlist.graph import CircuitGraph
 from repro.partition.multiway import Partition, default_block_count, partition_graph
 from repro.repeater.insertion import buffer_routed_nets
+from repro.resilience.degrade import find_relaxed_period
+from repro.resilience.faults import FaultInjector
+from repro.resilience.ledger import RunLedger
+from repro.resilience.policy import ResilienceConfig, default_resilience
+from repro.resilience.runner import StageRunner, perturbed_seed
 from repro.retime.constraints import build_constraint_system
 from repro.retime.expand import ExpandedCircuit, expand_interconnects
 from repro.retime.minarea import RetimingResult, min_area_retiming
@@ -41,6 +55,10 @@ from repro.retime.wd import WDMatrices, wd_matrices
 from repro.route.router import GlobalRouter, nets_from_graph
 from repro.tech.params import DEFAULT_TECH, Technology
 from repro.tiles.grid import SOFT, TileGrid, build_tile_grid
+
+#: Legal backend names, checked up-front by config validation.
+FLOORPLAN_BACKENDS = ("sequence_pair", "slicing")
+REPEATER_BACKENDS = ("path", "tree")
 
 
 @dataclasses.dataclass
@@ -64,6 +82,50 @@ class PlannerConfig:
     floorplan_backend: str = "sequence_pair"
     repeater_backend: str = "path"  # "path" (per-connection DP) | "tree"
     tech: Technology = DEFAULT_TECH
+    resilience: Optional[ResilienceConfig] = None  # None -> defaults
+
+
+def validate_planner_config(config: PlannerConfig) -> None:
+    """Reject bad configs up front, naming the offending field.
+
+    Raises:
+        PlanningError: A field is out of range or names an unknown
+            backend — better than failing deep inside a stage.
+    """
+    if config.whitespace < 0:
+        raise PlanningError(
+            f"PlannerConfig.whitespace must be >= 0, got {config.whitespace}"
+        )
+    if config.expansion_factor <= 1.0:
+        raise PlanningError(
+            "PlannerConfig.expansion_factor must be > 1.0, got "
+            f"{config.expansion_factor}"
+        )
+    if not 0.0 <= config.target_fraction <= 1.0:
+        raise PlanningError(
+            "PlannerConfig.target_fraction must be in [0, 1], got "
+            f"{config.target_fraction}"
+        )
+    if config.floorplan_backend not in FLOORPLAN_BACKENDS:
+        raise PlanningError(
+            "PlannerConfig.floorplan_backend: unknown floorplan backend "
+            f"{config.floorplan_backend!r} (expected one of "
+            f"{', '.join(FLOORPLAN_BACKENDS)})"
+        )
+    if config.repeater_backend not in REPEATER_BACKENDS:
+        raise PlanningError(
+            "PlannerConfig.repeater_backend: unknown repeater backend "
+            f"{config.repeater_backend!r} (expected one of "
+            f"{', '.join(REPEATER_BACKENDS)})"
+        )
+    if config.n_max < 1:
+        raise PlanningError(
+            f"PlannerConfig.n_max must be >= 1, got {config.n_max}"
+        )
+    if config.max_rounds < 1:
+        raise PlanningError(
+            f"PlannerConfig.max_rounds must be >= 1, got {config.max_rounds}"
+        )
 
 
 @dataclasses.dataclass
@@ -77,7 +139,14 @@ class TimedRetiming:
 
 @dataclasses.dataclass
 class PlanningIteration:
-    """Everything produced by one interconnect-planning iteration."""
+    """Everything produced by one interconnect-planning iteration.
+
+    ``t_clk`` is the period actually retimed for. When the requested
+    period proved infeasible and degradation relaxed it, ``degraded``
+    is True and ``t_clk_requested`` keeps the original target;
+    ``infeasible`` is reserved for the case where no relaxation was
+    attempted (degradation disabled) or none succeeded.
+    """
 
     index: int
     partition: Partition
@@ -91,6 +160,8 @@ class PlanningIteration:
     lac: Optional[LACResult]
     lac_seconds: float
     infeasible: bool = False
+    degraded: bool = False
+    t_clk_requested: Optional[float] = None
 
     @property
     def n_foa_min_area(self) -> Optional[int]:
@@ -108,6 +179,7 @@ class PlanningOutcome:
     circuit: str
     config: PlannerConfig
     iterations: List[PlanningIteration]
+    ledger: RunLedger = dataclasses.field(default_factory=RunLedger)
 
     @property
     def first(self) -> PlanningIteration:
@@ -122,6 +194,11 @@ class PlanningOutcome:
         """True when the final iteration has zero area violations."""
         last = self.final
         return (not last.infeasible) and last.lac is not None and last.lac.n_foa == 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any iteration ran at a relaxed (degraded) period."""
+        return any(it.degraded for it in self.iterations)
 
     def foa_decrease(self) -> Optional[float]:
         """Fractional N_FOA decrease of LAC vs min-area (iteration 1)."""
@@ -141,6 +218,11 @@ class PlanningOutcome:
                 f"  iteration {it.index}: T_init={it.t_init:.2f} "
                 f"T_min={it.t_min:.2f} T_clk={it.t_clk:.2f}"
             )
+            if it.degraded and it.t_clk_requested is not None:
+                lines.append(
+                    f"    degraded: requested T_clk={it.t_clk_requested:.2f} "
+                    f"infeasible, achieved {it.t_clk:.2f}"
+                )
             if it.infeasible:
                 lines.append("    T_clk infeasible after floorplan expansion")
                 continue
@@ -160,7 +242,21 @@ class PlanningOutcome:
         if dec is not None:
             lines.append(f"  N_FOA decrease (LAC vs min-area): {100 * dec:.0f}%")
         lines.append(f"  converged: {self.converged}")
+        if self.ledger.records:
+            lines.append("  " + self.ledger.format().replace("\n", "\n  "))
         return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class _RetimeOutcome:
+    """What the retime stage hands back to the iteration assembler."""
+
+    min_area: Optional[TimedRetiming]
+    lac: Optional[LACResult]
+    lac_seconds: float
+    t_clk: float
+    infeasible: bool = False
+    degraded: bool = False
 
 
 def _run_iteration(
@@ -170,52 +266,99 @@ def _run_iteration(
     config: PlannerConfig,
     index: int,
     t_clk: Optional[float] = None,
+    runner: Optional[StageRunner] = None,
 ) -> PlanningIteration:
     """Steps 3-8 on a given floorplan. ``t_clk`` fixes the target period
-    (used by the second iteration); otherwise it is derived."""
-    grid = build_tile_grid(plan, config.tech)
-    nets = nets_from_graph(graph, grid, plan, jitter_seed=config.seed)
-    router = GlobalRouter(grid)
-    routed = router.route(nets, rrr_passes=config.rrr_passes)
+    (used by the second iteration); otherwise it is derived.
+
+    Without an explicit ``runner`` the stages run strictly — single
+    attempts, no degradation — which is the historical behaviour.
+    """
+    if runner is None:
+        runner = StageRunner(ResilienceConfig(degrade_t_clk=False))
+    outer_scope = runner.scope
+    runner.scope = f"iteration {index}"
+    try:
+        return _run_iteration_stages(
+            graph, partition, plan, config, index, t_clk, runner
+        )
+    finally:
+        runner.scope = outer_scope
+
+
+def _run_iteration_stages(
+    graph: CircuitGraph,
+    partition: Partition,
+    plan: Floorplan,
+    config: PlannerConfig,
+    index: int,
+    t_clk: Optional[float],
+    runner: StageRunner,
+) -> PlanningIteration:
+    grid = runner.run("tiles", lambda _a: build_tile_grid(plan, config.tech))
+
+    def _route(attempt: int):
+        # Retries re-jitter the pin placement seed: a marginal routing
+        # instance often clears with a slightly different jitter.
+        nets = nets_from_graph(
+            graph, grid, plan, jitter_seed=perturbed_seed(config.seed, attempt)
+        )
+        return GlobalRouter(grid).route(nets, rrr_passes=config.rrr_passes)
+
+    routed = runner.run("route", _route)
+
     if config.repeater_backend == "tree":
         from repro.repeater.vanginneken import buffer_routed_nets_tree
 
-        buffered = buffer_routed_nets_tree(routed, grid, config.tech)
+        buffered = runner.run(
+            "repeater",
+            lambda _a: buffer_routed_nets_tree(routed, grid, config.tech),
+            fallbacks=[
+                ("path", lambda _a: buffer_routed_nets(routed, grid, config.tech))
+            ],
+        )
     elif config.repeater_backend == "path":
-        buffered = buffer_routed_nets(routed, grid, config.tech)
+        buffered = runner.run(
+            "repeater",
+            lambda _a: buffer_routed_nets(routed, grid, config.tech),
+        )
     else:
         raise PlanningError(
             f"unknown repeater backend {config.repeater_backend!r}"
         )
-    expanded = expand_interconnects(
-        graph,
-        buffered,
-        grid,
-        plan,
-        jitter_seed=config.seed,
-        max_units_per_connection=config.max_units_per_connection,
+
+    expanded = runner.run(
+        "expand",
+        lambda _a: expand_interconnects(
+            graph,
+            buffered,
+            grid,
+            plan,
+            jitter_seed=config.seed,
+            max_units_per_connection=config.max_units_per_connection,
+        ),
     )
 
     wd = wd_matrices(expanded.graph)
     t_init = clock_period(expanded.graph, wd)
     t_min, _ = min_period_retiming(expanded.graph, wd)
+    requested = t_clk
     if t_clk is None:
         t_clk = t_min + config.target_fraction * (t_init - t_min)
 
-    min_area_timed: Optional[TimedRetiming] = None
-    lac_result: Optional[LACResult] = None
-    lac_seconds = 0.0
-    infeasible = False
-    try:
+    def _retime_at(period: float, prune: bool):
         # One constraint system serves both retimings: they target the
         # same period, and constraint generation dominates run time
         # (the property the paper leans on in Section 4.2).
         system = build_constraint_system(
-            expanded.graph, wd, t_clk, prune=config.prune
+            expanded.graph, wd, period, prune=prune
         )
+        min_area_timed: Optional[TimedRetiming] = None
         if config.run_baseline:
             start = time.perf_counter()
-            base = min_area_retiming(expanded.graph, t_clk, wd=wd, system=system)
+            base = min_area_retiming(
+                expanded.graph, period, wd=wd, system=system
+            )
             elapsed = time.perf_counter() - start
             base_report = area_report(
                 base.graph, expanded.unit_region, grid, config.tech
@@ -227,7 +370,7 @@ def _run_iteration(
             expanded.graph,
             expanded.unit_region,
             grid,
-            t_clk,
+            period,
             tech=config.tech,
             alpha=config.alpha,
             n_max=config.n_max,
@@ -236,8 +379,39 @@ def _run_iteration(
             system=system,
         )
         lac_seconds = time.perf_counter() - start
-    except InfeasiblePeriodError:
-        infeasible = True
+        return min_area_timed, lac_result, lac_seconds
+
+    def _retime(_attempt: int, prune: bool) -> _RetimeOutcome:
+        try:
+            ma, lac, lac_s = _retime_at(t_clk, prune)
+            return _RetimeOutcome(ma, lac, lac_s, t_clk)
+        except InfeasiblePeriodError:
+            if not runner.config.degrade_t_clk:
+                return _RetimeOutcome(None, None, 0.0, t_clk, infeasible=True)
+            relaxed = find_relaxed_period(expanded.graph, t_clk, t_init, wd=wd)
+            if relaxed is None:
+                runner.note(
+                    f"retime: T_clk={t_clk:.3f} infeasible and no relaxed "
+                    f"period found below T_init={t_init:.3f}"
+                )
+                return _RetimeOutcome(None, None, 0.0, t_clk, infeasible=True)
+            runner.note(
+                f"retime: T_clk={t_clk:.3f} infeasible; degraded to "
+                f"{relaxed:.3f} (T_init={t_init:.3f})"
+            )
+            ma, lac, lac_s = _retime_at(relaxed, prune)
+            return _RetimeOutcome(ma, lac, lac_s, relaxed, degraded=True)
+
+    # Constraint pruning, if it ever produces an unsolvable reduced
+    # system, falls back to the unpruned (sound but slower) system.
+    fallbacks = (
+        [("unpruned", lambda a: _retime(a, prune=False))] if config.prune else []
+    )
+    retimed = runner.run(
+        "retime",
+        lambda a: _retime(a, prune=config.prune),
+        fallbacks=fallbacks,
+    )
 
     return PlanningIteration(
         index=index,
@@ -247,11 +421,17 @@ def _run_iteration(
         expanded=expanded,
         t_init=t_init,
         t_min=t_min,
-        t_clk=t_clk,
-        min_area=min_area_timed,
-        lac=lac_result,
-        lac_seconds=lac_seconds,
-        infeasible=infeasible,
+        t_clk=retimed.t_clk,
+        min_area=retimed.min_area,
+        lac=retimed.lac,
+        lac_seconds=retimed.lac_seconds,
+        infeasible=retimed.infeasible,
+        degraded=retimed.degraded,
+        t_clk_requested=(
+            (requested if requested is not None else t_clk)
+            if retimed.degraded
+            else None
+        ),
     )
 
 
@@ -261,6 +441,8 @@ def _congested_blocks(iteration: PlanningIteration) -> List[str]:
     Violations in soft-block regions name the block directly;
     violations in channel or hard-block tiles expand the nearest soft
     block (extra block slack relieves the surrounding channels too).
+    When every violating region sits next to hard blocks only, there
+    is nothing to expand and the list is empty.
     """
     grid = iteration.grid
     plan = iteration.floorplan
@@ -288,35 +470,53 @@ def plan_interconnect(
     graph: CircuitGraph,
     config: Optional[PlannerConfig] = None,
     max_iterations: int = 2,
+    faults: Optional[FaultInjector] = None,
     **overrides,
 ) -> PlanningOutcome:
     """Run the full interconnect-planning flow on a circuit.
 
     Keyword overrides are applied on top of ``config`` (or the default
     config), e.g. ``plan_interconnect(g, seed=3, alpha=0.3)``.
+
+    Stages run under ``config.resilience`` (the default posture gives
+    the stochastic stages a retry and degrades infeasible periods);
+    ``faults`` optionally injects deterministic failures/delays for
+    testing the recovery paths.
     """
     if config is None:
         config = PlannerConfig()
     if overrides:
         config = dataclasses.replace(config, **overrides)
+    validate_planner_config(config)
     graph.validate()
+
+    resilience = config.resilience or default_resilience()
+    ledger = RunLedger()
+    runner = StageRunner(resilience, ledger, faults=faults)
 
     hosts = set(graph.host_units())
     n_units = graph.num_units - len(hosts)
     n_blocks = config.n_blocks or default_block_count(n_units)
-    partition = partition_graph(graph, n_blocks, seed=config.seed)
-    plan = build_floorplan(
-        graph,
-        partition,
-        seed=config.seed,
-        hard_blocks=config.hard_blocks,
-        whitespace=config.whitespace,
-        iterations=config.floorplan_iterations,
-        backend=config.floorplan_backend,
+    partition = runner.run(
+        "partition",
+        lambda _a: partition_graph(graph, n_blocks, seed=config.seed),
+    )
+    plan = runner.run(
+        "floorplan",
+        # Retries restart the anneal from a perturbed seed.
+        lambda attempt: build_floorplan(
+            graph,
+            partition,
+            seed=perturbed_seed(config.seed, attempt),
+            hard_blocks=config.hard_blocks,
+            whitespace=config.whitespace,
+            iterations=config.floorplan_iterations,
+            backend=config.floorplan_backend,
+        ),
     )
 
     iterations: List[PlanningIteration] = []
-    first = _run_iteration(graph, partition, plan, config, index=1)
+    first = _run_iteration(graph, partition, plan, config, index=1, runner=runner)
     iterations.append(first)
 
     current = first
@@ -329,13 +529,16 @@ def plan_interconnect(
         congested = _congested_blocks(current)
         if not congested:
             break
-        plan = expand_floorplan(
-            current.floorplan,
-            graph,
-            congested,
-            factor=config.expansion_factor,
-            seed=config.seed,
-            iterations=config.floorplan_iterations,
+        plan = runner.run(
+            "expand_floorplan",
+            lambda attempt: expand_floorplan(
+                current.floorplan,
+                graph,
+                congested,
+                factor=config.expansion_factor,
+                seed=perturbed_seed(config.seed, attempt),
+                iterations=config.floorplan_iterations,
+            ),
         )
         current = _run_iteration(
             graph,
@@ -344,7 +547,10 @@ def plan_interconnect(
             config,
             index=len(iterations) + 1,
             t_clk=first.t_clk,
+            runner=runner,
         )
         iterations.append(current)
 
-    return PlanningOutcome(circuit=graph.name, config=config, iterations=iterations)
+    return PlanningOutcome(
+        circuit=graph.name, config=config, iterations=iterations, ledger=ledger
+    )

@@ -47,3 +47,37 @@ class RoutingError(ReproError):
 
 class PlanningError(ReproError):
     """The end-to-end interconnect planning flow failed."""
+
+
+class StageTimeoutError(PlanningError):
+    """A pipeline stage blew its wall-clock deadline."""
+
+    def __init__(self, stage, timeout, message=None):
+        self.stage = stage
+        self.timeout = timeout
+        super().__init__(
+            message or f"stage {stage!r} exceeded its {timeout:g}s deadline"
+        )
+
+
+class StageFailedError(PlanningError):
+    """A pipeline stage failed after exhausting retries and fallbacks.
+
+    ``attempts`` holds the full attempt history
+    (:class:`repro.resilience.ledger.StageAttempt` records), so callers
+    can see every error, timing, and fallback that was tried.
+    """
+
+    def __init__(self, stage, attempts, message=None):
+        self.stage = stage
+        self.attempts = list(attempts)
+        if message is None:
+            errors = "; ".join(
+                a.error for a in self.attempts if getattr(a, "error", None)
+            )
+            message = (
+                f"stage {stage!r} failed after "
+                f"{len(self.attempts)} attempt(s)"
+                + (f": {errors}" if errors else "")
+            )
+        super().__init__(message)

@@ -20,10 +20,12 @@ iterations for all but the hardest circuit.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
 from repro.core.planner import PlanningOutcome, plan_interconnect
 from repro.experiments.circuits import TABLE1_CIRCUITS, CircuitSpec
+from repro.resilience.batch import BatchResult, run_batch
+from repro.resilience.faults import FaultInjector
 
 
 @dataclasses.dataclass
@@ -83,7 +85,12 @@ class Table1Row:
         )
 
 
-def run_circuit(spec: CircuitSpec, max_iterations: int = 2) -> Table1Row:
+def run_circuit(
+    spec: CircuitSpec,
+    max_iterations: int = 2,
+    faults: Optional[FaultInjector] = None,
+    **plan_overrides,
+) -> Table1Row:
     """Run the planning flow for one benchmark circuit."""
     outcome = plan_interconnect(
         spec.build(),
@@ -91,6 +98,8 @@ def run_circuit(spec: CircuitSpec, max_iterations: int = 2) -> Table1Row:
         max_iterations=max_iterations,
         whitespace=spec.whitespace,
         n_blocks=spec.n_blocks,
+        faults=faults,
+        **plan_overrides,
     )
     return Table1Row.from_outcome(outcome)
 
@@ -100,7 +109,11 @@ def run_table1(
     max_iterations: int = 2,
     verbose: bool = False,
 ) -> List[Table1Row]:
-    """Run the whole suite; returns one row per circuit."""
+    """Run the whole suite; returns one row per circuit.
+
+    A failing circuit raises; :func:`run_table1_resilient` is the
+    fault-isolated variant used by the CLI.
+    """
     rows = []
     for spec in circuits if circuits is not None else TABLE1_CIRCUITS:
         row = run_circuit(spec, max_iterations=max_iterations)
@@ -108,6 +121,47 @@ def run_table1(
         if verbose:
             print(format_rows([row], header=len(rows) == 1))
     return rows
+
+
+def run_table1_resilient(
+    circuits: Optional[Sequence[CircuitSpec]] = None,
+    max_iterations: int = 2,
+    verbose: bool = False,
+    faults_for: Optional[
+        Callable[[str], Optional[FaultInjector]]
+    ] = None,
+    plan_overrides: Optional[Mapping[str, object]] = None,
+) -> BatchResult:
+    """Fault-isolated Table-1 run: one bad circuit cannot kill the batch.
+
+    ``ReproError`` failures are caught per circuit and recorded in the
+    returned :class:`~repro.resilience.batch.BatchResult` (each ok item
+    carries a :class:`Table1Row`). ``faults_for(name)`` may supply a
+    per-circuit fault injector (used by CI to exercise recovery and
+    isolation paths).
+    """
+    specs = list(circuits if circuits is not None else TABLE1_CIRCUITS)
+    overrides = dict(plan_overrides or {})
+
+    def _thunk(spec: CircuitSpec):
+        faults = faults_for(spec.name) if faults_for is not None else None
+        return lambda: run_circuit(
+            spec, max_iterations=max_iterations, faults=faults, **overrides
+        )
+
+    def _progress(item):
+        if not verbose:
+            return
+        if item.ok:
+            print(format_rows([item.result], header=False))
+        else:
+            print(f"{item.name:>8} FAILED ({item.error})")
+
+    if verbose and specs:
+        print(format_rows([], header=True))
+    return run_batch(
+        [(spec.name, _thunk(spec)) for spec in specs], on_item=_progress
+    )
 
 
 def average_decrease(rows: Sequence[Table1Row]) -> Optional[float]:
@@ -151,18 +205,110 @@ def format_rows(rows: Sequence[Table1Row], header: bool = True) -> str:
     return "\n".join(lines)
 
 
+def format_batch(batch: BatchResult) -> str:
+    """Render a (possibly partial) table: ok rows plus FAILED lines."""
+    lines = [format_rows([], header=True)]
+    for item in batch.items:
+        if item.ok:
+            lines.append(format_rows([item.result], header=False))
+        else:
+            lines.append(f"{item.name:>8} FAILED ({item.error})")
+    rows = [item.result for item in batch.items if item.ok]
+    if len(rows) > 1:
+        avg = average_decrease(rows)
+        if avg is not None:
+            lines.append(
+                f"{'Average':>8} {'':6} {'':7} | {'':28} | {'':32} | "
+                f"{100 * avg:>5.0f}%"
+            )
+    if batch.n_failed:
+        lines.append(
+            f"{batch.n_failed} of {len(batch.items)} circuits FAILED "
+            "(partial table)"
+        )
+    return "\n".join(lines)
+
+
+def _parse_fault_args(fault_args: Sequence[str]):
+    """``name:stage`` specs -> per-circuit fault injector factory.
+
+    Each spec arms a *permanent* fault (every attempt of that stage
+    fails), so the named circuit genuinely fails and exercises batch
+    isolation rather than being rescued by a retry.
+    """
+    from repro.errors import PlanningError
+    from repro.resilience.faults import FaultSpec
+
+    by_circuit: dict = {}
+    for arg in fault_args:
+        try:
+            name, stage = arg.split(":", 1)
+        except ValueError:
+            raise SystemExit(
+                f"--inject-fault expects CIRCUIT:STAGE, got {arg!r}"
+            )
+        by_circuit.setdefault(name, []).append(
+            FaultSpec(stage, error=PlanningError, repeat=True)
+        )
+
+    def faults_for(name: str) -> Optional[FaultInjector]:
+        specs = by_circuit.get(name)
+        return FaultInjector(specs) if specs else None
+
+    return faults_for
+
+
 def main(argv=None) -> int:
-    """CLI: ``python -m repro.experiments.table1 [circuit ...]``."""
+    """CLI: ``python -m repro.experiments.table1 [circuit ...]``.
+
+    Circuits are fault-isolated: a failing circuit is reported as
+    FAILED in a partial table, and the exit status is nonzero only
+    when *every* circuit fails.
+    """
+    import argparse
     import sys
 
     from repro.experiments.circuits import TABLE1_CIRCUITS, get_circuit
 
-    argv = sys.argv[1:] if argv is None else argv
-    specs = [get_circuit(name) for name in argv] if argv else TABLE1_CIRCUITS
-    rows = run_table1(specs, verbose=True)
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments.table1")
+    parser.add_argument("names", nargs="*", help="subset of circuit names")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fast smoke settings (fewer anneal iterations, 1 iteration)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="CIRCUIT:STAGE",
+        help="deterministically fail every attempt of STAGE for CIRCUIT "
+        "(fault-injection harness; repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        specs = (
+            [get_circuit(name) for name in args.names]
+            if args.names
+            else TABLE1_CIRCUITS
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    overrides = (
+        {"floorplan_iterations": 300} if args.quick else None
+    )
+    batch = run_table1_resilient(
+        specs,
+        max_iterations=1 if args.quick else 2,
+        verbose=True,
+        faults_for=_parse_fault_args(args.inject_fault),
+        plan_overrides=overrides,
+    )
     print()
-    print(format_rows(rows))
-    return 0
+    print(format_batch(batch))
+    return batch.exit_code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,47 @@
+"""Resilience layer for the planning flow.
+
+The planner in :mod:`repro.core.planner` is a seven-stage pipeline in
+which, historically, the only anticipated failure was
+:class:`~repro.errors.InfeasiblePeriodError`. This subpackage makes
+every stage survivable:
+
+* :mod:`repro.resilience.policy` — per-stage execution policies
+  (bounded retries, wall-clock deadlines, retryable exception sets);
+* :mod:`repro.resilience.runner` — the stage runner that executes a
+  callable under a policy with retry, fallback chains, and timeouts;
+* :mod:`repro.resilience.ledger` — the structured run ledger recording
+  every attempt, error, timing, and fallback taken;
+* :mod:`repro.resilience.degrade` — graceful ``T_clk`` degradation
+  (binary search for the closest achievable period);
+* :mod:`repro.resilience.faults` — a deterministic fault-injection
+  harness so every recovery path is testable in CI;
+* :mod:`repro.resilience.batch` — a fault-isolated batch runner used
+  by the Table-1 harness and the CLI.
+"""
+
+from repro.resilience.batch import BatchItem, BatchResult, run_batch
+from repro.resilience.degrade import find_relaxed_period
+from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.resilience.ledger import RunLedger, StageAttempt, StageRecord
+from repro.resilience.policy import (
+    ResilienceConfig,
+    StagePolicy,
+    default_resilience,
+)
+from repro.resilience.runner import StageRunner
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "run_batch",
+    "find_relaxed_period",
+    "FaultInjector",
+    "FaultSpec",
+    "RunLedger",
+    "StageAttempt",
+    "StageRecord",
+    "ResilienceConfig",
+    "StagePolicy",
+    "default_resilience",
+    "StageRunner",
+]

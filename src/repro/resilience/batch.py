@@ -1,0 +1,104 @@
+"""Fault-isolated batch execution.
+
+``run_batch`` runs a sequence of named work items, catching
+:class:`~repro.errors.ReproError` (by default) per item so one bad
+circuit cannot kill a whole Table-1 regeneration. The result records
+per-item status, error text, and timing; ``exit_code`` is nonzero only
+when *every* item failed — a partial table is a success.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ReproError
+
+
+@dataclasses.dataclass
+class BatchItem:
+    """Outcome of one batch item."""
+
+    name: str
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None  # "ExcType: message" when failed
+    seconds: float = 0.0
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.ok else "FAILED"
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """All items of one batch run."""
+
+    items: List[BatchItem] = dataclasses.field(default_factory=list)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for i in self.items if i.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.items) - self.n_ok
+
+    @property
+    def failed(self) -> List[BatchItem]:
+        return [i for i in self.items if not i.ok]
+
+    @property
+    def results(self) -> List[Any]:
+        """Results of successful items, in order."""
+        return [i.result for i in self.items if i.ok]
+
+    @property
+    def exit_code(self) -> int:
+        """0 while anything succeeded; 1 only when everything failed."""
+        if not self.items:
+            return 1
+        return 0 if self.n_ok > 0 else 1
+
+    def summary(self) -> str:
+        parts = [f"{self.n_ok}/{len(self.items)} circuits ok"]
+        for item in self.failed:
+            parts.append(f"{item.name} FAILED ({item.error})")
+        return "; ".join(parts)
+
+
+def run_batch(
+    work: Sequence[Tuple[str, Callable[[], Any]]],
+    catch: Tuple[Type[BaseException], ...] = (ReproError,),
+    on_item: Optional[Callable[[BatchItem], None]] = None,
+) -> BatchResult:
+    """Run ``(name, thunk)`` items, isolating ``catch`` failures.
+
+    Exceptions outside ``catch`` (genuine bugs, ``KeyboardInterrupt``)
+    propagate immediately. ``on_item`` is called after each item —
+    batch drivers use it for progress output.
+    """
+    batch = BatchResult()
+    for name, thunk in work:
+        start = time.perf_counter()
+        try:
+            result = thunk()
+        except catch as exc:
+            item = BatchItem(
+                name=name,
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                seconds=time.perf_counter() - start,
+            )
+        else:
+            item = BatchItem(
+                name=name,
+                ok=True,
+                result=result,
+                seconds=time.perf_counter() - start,
+            )
+        batch.items.append(item)
+        if on_item is not None:
+            on_item(item)
+    return batch

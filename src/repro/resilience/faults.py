@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the planning pipeline.
+
+A :class:`FaultInjector` sits inside the stage runner: every stage
+attempt first calls ``injector.on_call(stage)``, which counts calls
+per stage and fires any :class:`FaultSpec` armed for that call number
+— sleeping (to exercise deadlines) and/or raising (to exercise retry,
+fallback, and batch isolation paths). Counting is the only state, so
+injection is fully deterministic and CI-friendly.
+
+Example — fail the first floorplan attempt, delay the second routing
+attempt by 50 ms::
+
+    faults = FaultInjector([
+        FaultSpec("floorplan", error=FloorplanError("injected")),
+        FaultSpec("route", on_call=2, delay=0.05),
+    ])
+    plan_interconnect(graph, faults=faults)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import PlanningError
+
+ErrorLike = Union[BaseException, type, Callable[[], BaseException]]
+
+
+def _make_error(error: ErrorLike, stage: str) -> BaseException:
+    if isinstance(error, BaseException):
+        return error
+    if isinstance(error, type) and issubclass(error, BaseException):
+        return error(f"injected fault in stage {stage!r}")
+    return error()
+
+
+@dataclasses.dataclass
+class FaultSpec:
+    """One armed fault.
+
+    Attributes:
+        stage: Stage name the fault is armed for (``floorplan``,
+            ``route``, ...).
+        error: Exception instance, class, or zero-arg factory raised
+            when the fault fires; ``None`` injects only the delay.
+        delay: Seconds to sleep before (optionally) raising.
+        on_call: 1-based call number of the stage at which the fault
+            fires. Calls are counted across the whole run, so e.g.
+            ``on_call=2`` for ``route`` hits the second planning
+            iteration's routing (or the first retry).
+        repeat: Fire on every call >= ``on_call`` instead of only the
+            Nth — turns a transient fault into a permanent one.
+    """
+
+    stage: str
+    error: Optional[ErrorLike] = None
+    delay: float = 0.0
+    on_call: int = 1
+    repeat: bool = False
+
+    def fires(self, call_index: int) -> bool:
+        if self.repeat:
+            return call_index >= self.on_call
+        return call_index == self.on_call
+
+
+class FaultInjector:
+    """Counts stage calls and fires armed :class:`FaultSpec` entries."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()):
+        self.specs: List[FaultSpec] = list(specs)
+        self._calls: Dict[str, int] = {}
+
+    def arm(self, spec: FaultSpec) -> "FaultInjector":
+        self.specs.append(spec)
+        return self
+
+    def calls(self, stage: str) -> int:
+        """How many times ``stage`` has been entered so far."""
+        return self._calls.get(stage, 0)
+
+    def on_call(self, stage: str) -> None:
+        """Stage-entry hook; fires any spec armed for this call."""
+        index = self._calls.get(stage, 0) + 1
+        self._calls[stage] = index
+        for spec in self.specs:
+            if spec.stage == stage and spec.fires(index):
+                if spec.delay > 0:
+                    time.sleep(spec.delay)
+                if spec.error is not None:
+                    raise _make_error(spec.error, stage)
+
+    @classmethod
+    def fail_once(
+        cls, *stages: str, error: Optional[ErrorLike] = None
+    ) -> "FaultInjector":
+        """Injector that fails the first attempt of each given stage."""
+        return cls(
+            [
+                FaultSpec(
+                    stage,
+                    error=error
+                    or PlanningError(f"injected fault in stage {stage!r}"),
+                )
+                for stage in stages
+            ]
+        )
+
+    @classmethod
+    def fail_always(
+        cls, *stages: str, error: Optional[ErrorLike] = None
+    ) -> "FaultInjector":
+        """Injector that fails every attempt of each given stage."""
+        return cls(
+            [
+                FaultSpec(
+                    stage,
+                    error=error or PlanningError,
+                    repeat=True,
+                )
+                for stage in stages
+            ]
+        )

@@ -1,0 +1,143 @@
+"""The run ledger: a structured record of how a planning run executed.
+
+Every stage execution appends one :class:`StageRecord` holding the
+full attempt history (:class:`StageAttempt` per try: variant, status,
+wall-clock seconds, error text). Free-form degradation notes — e.g.
+"T_clk infeasible, relaxed to 3.62" — are kept alongside. The ledger
+is attached to :class:`~repro.core.planner.PlanningOutcome` and
+rendered by ``outcome.report()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+#: Attempt / record statuses.
+OK = "ok"
+ERROR = "error"
+TIMEOUT = "timeout"
+FAILED = "failed"
+
+
+@dataclasses.dataclass
+class StageAttempt:
+    """One try of one stage variant."""
+
+    stage: str
+    attempt: int  # 1-based, per variant
+    variant: str  # "primary" or a fallback name
+    status: str  # ok | error | timeout
+    seconds: float
+    error: Optional[str] = None  # "ExcType: message" when not ok
+
+    def describe(self) -> str:
+        tag = f"{self.variant}#{self.attempt}"
+        if self.status == OK:
+            return f"{tag} ok ({self.seconds:.2f}s)"
+        return f"{tag} {self.status}: {self.error} ({self.seconds:.2f}s)"
+
+
+@dataclasses.dataclass
+class StageRecord:
+    """The final word on one stage execution."""
+
+    stage: str
+    attempts: List[StageAttempt]
+    status: str  # ok | failed
+    scope: str = ""  # e.g. "iteration 2"
+    fallback: Optional[str] = None  # fallback variant that succeeded
+
+    @property
+    def seconds(self) -> float:
+        return sum(a.seconds for a in self.attempts)
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first (any variant)."""
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def name(self) -> str:
+        return f"{self.scope} · {self.stage}" if self.scope else self.stage
+
+    def describe(self) -> str:
+        parts = [f"{self.name}: {self.status}"]
+        if self.fallback:
+            parts.append(f"via fallback {self.fallback!r}")
+        n = len(self.attempts)
+        parts.append(f"{n} attempt{'s' if n != 1 else ''}")
+        parts.append(f"{self.seconds:.2f}s")
+        line = " — ".join([parts[0], ", ".join(parts[1:])])
+        if n > 1 or self.status != OK:
+            detail = "; ".join(a.describe() for a in self.attempts)
+            line += f" [{detail}]"
+        return line
+
+
+@dataclasses.dataclass
+class RunLedger:
+    """Structured per-stage history of one planning run."""
+
+    records: List[StageRecord] = dataclasses.field(default_factory=list)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def add(self, record: StageRecord) -> None:
+        self.records.append(record)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def for_stage(self, stage: str) -> List[StageRecord]:
+        return [r for r in self.records if r.stage == stage]
+
+    @property
+    def n_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def n_fallbacks(self) -> int:
+        return sum(1 for r in self.records if r.fallback)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for r in self.records if r.status != OK)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.records)} stage runs, {self.n_retries} retries, "
+            f"{self.n_fallbacks} fallbacks, {self.n_failures} failures "
+            f"({self.total_seconds:.2f}s)"
+        )
+
+    def format(self, verbose: bool = False) -> str:
+        """Render the ledger; non-verbose shows only eventful stages."""
+        lines = [f"resilience: {self.summary()}"]
+        for r in self.records:
+            if verbose or r.retries or r.fallback or r.status != OK:
+                lines.append(f"  {r.describe()}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable dump (for logs / machine consumption)."""
+        return {
+            "summary": self.summary(),
+            "records": [
+                {
+                    "stage": r.stage,
+                    "scope": r.scope,
+                    "status": r.status,
+                    "fallback": r.fallback,
+                    "seconds": r.seconds,
+                    "attempts": [dataclasses.asdict(a) for a in r.attempts],
+                }
+                for r in self.records
+            ],
+            "notes": list(self.notes),
+        }

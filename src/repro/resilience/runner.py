@@ -1,0 +1,196 @@
+"""The stage runner: execute pipeline stages under a resilience policy.
+
+``StageRunner.run`` executes a *primary* callable (and, if it keeps
+failing, an ordered chain of *fallback* variants) under the stage's
+:class:`~repro.resilience.policy.StagePolicy`:
+
+* each attempt may run under a wall-clock deadline; a blown deadline
+  raises :class:`~repro.errors.StageTimeoutError` and counts as a
+  retryable failure (the worker thread is abandoned — Python cannot
+  kill it — which is the standard soft-timeout trade-off);
+* failures in ``policy.retry_on`` consume attempts, then fallbacks;
+  any other exception propagates immediately so genuine bugs are
+  never masked;
+* every try is recorded in the :class:`~repro.resilience.ledger.RunLedger`,
+  and exhaustion raises :class:`~repro.errors.StageFailedError`
+  carrying the full attempt history.
+
+Callables receive the 1-based attempt index so seeded stages can
+perturb their seed on retries (``perturbed_seed`` gives the planner's
+convention).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import StageFailedError, StageTimeoutError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.ledger import (
+    ERROR,
+    FAILED,
+    OK,
+    TIMEOUT,
+    RunLedger,
+    StageAttempt,
+    StageRecord,
+)
+from repro.resilience.policy import ResilienceConfig
+
+T = TypeVar("T")
+
+#: Stride between retry seeds; a prime far from typical user seeds so
+#: perturbed attempts never collide with another circuit's base seed.
+SEED_STRIDE = 7919
+
+
+def perturbed_seed(seed: int, attempt: int) -> int:
+    """Seed for the given 1-based attempt; attempt 1 is unperturbed."""
+    return seed + SEED_STRIDE * (attempt - 1)
+
+
+class StageRunner:
+    """Executes stages under policies, recording into a ledger."""
+
+    def __init__(
+        self,
+        config: Optional[ResilienceConfig] = None,
+        ledger: Optional[RunLedger] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.config = config or ResilienceConfig()
+        self.ledger = ledger if ledger is not None else RunLedger()
+        self.faults = faults
+        self.scope = ""  # e.g. "iteration 2"; purely for the ledger
+
+    def note(self, message: str) -> None:
+        prefix = f"{self.scope} · " if self.scope else ""
+        self.ledger.note(prefix + message)
+
+    def run(
+        self,
+        stage: str,
+        primary: Callable[[int], T],
+        fallbacks: Sequence[Tuple[str, Callable[[int], T]]] = (),
+    ) -> T:
+        """Run ``stage`` to completion or exhaustion.
+
+        ``primary`` gets ``policy.max_attempts`` tries; each fallback
+        variant then gets one. All callables receive the 1-based
+        attempt index of their variant.
+        """
+        policy = self.config.policy_for(stage)
+        variants = [("primary", primary)] + list(fallbacks)
+        attempts = []
+        last_exc: Optional[BaseException] = None
+        for v_index, (name, fn) in enumerate(variants):
+            n_tries = policy.max_attempts if v_index == 0 else 1
+            for attempt in range(1, n_tries + 1):
+                start = time.perf_counter()
+                try:
+                    result = self._call(stage, fn, attempt, policy.timeout)
+                except StageTimeoutError as exc:
+                    attempts.append(
+                        StageAttempt(
+                            stage,
+                            attempt,
+                            name,
+                            TIMEOUT,
+                            time.perf_counter() - start,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    last_exc = exc
+                except policy.retry_on as exc:
+                    attempts.append(
+                        StageAttempt(
+                            stage,
+                            attempt,
+                            name,
+                            ERROR,
+                            time.perf_counter() - start,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    last_exc = exc
+                except BaseException as exc:
+                    # Not retryable: record, close the ledger entry,
+                    # and let it propagate untouched.
+                    attempts.append(
+                        StageAttempt(
+                            stage,
+                            attempt,
+                            name,
+                            ERROR,
+                            time.perf_counter() - start,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    self._record(stage, attempts, FAILED)
+                    raise
+                else:
+                    attempts.append(
+                        StageAttempt(
+                            stage,
+                            attempt,
+                            name,
+                            OK,
+                            time.perf_counter() - start,
+                        )
+                    )
+                    self._record(
+                        stage,
+                        attempts,
+                        OK,
+                        fallback=name if v_index > 0 else None,
+                    )
+                    return result
+        self._record(stage, attempts, FAILED)
+        raise StageFailedError(stage, attempts) from last_exc
+
+    def _call(
+        self,
+        stage: str,
+        fn: Callable[[int], T],
+        attempt: int,
+        timeout: Optional[float],
+    ) -> T:
+        def thunk() -> T:
+            if self.faults is not None:
+                self.faults.on_call(stage)
+            return fn(attempt)
+
+        if timeout is None:
+            return thunk()
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"stage-{stage}"
+        )
+        try:
+            future = executor.submit(thunk)
+            try:
+                return future.result(timeout=timeout)
+            except _FuturesTimeout:
+                raise StageTimeoutError(stage, timeout) from None
+        finally:
+            # Never block on an overrunning worker; it is abandoned.
+            executor.shutdown(wait=False)
+
+    def _record(
+        self,
+        stage: str,
+        attempts,
+        status: str,
+        fallback: Optional[str] = None,
+    ) -> None:
+        self.ledger.add(
+            StageRecord(
+                stage=stage,
+                attempts=list(attempts),
+                status=status,
+                scope=self.scope,
+                fallback=fallback,
+            )
+        )

@@ -21,9 +21,48 @@ class TestCLI:
         assert main(["verify"]) == 0
         assert "EQUIVALENT" in capsys.readouterr().out
 
-    def test_unknown_circuit_errors(self):
-        with pytest.raises(KeyError):
-            main(["plan", "s9999"])
+    def test_unknown_circuit_exits_2(self, capsys):
+        assert main(["plan", "s9999"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line message, no traceback
+        assert "unknown circuit" in err and "s9999" in err
+
+    def test_table1_unknown_circuit_exits_2(self, capsys):
+        assert main(["table1", "s9999"]) == 2
+        assert "s9999" in capsys.readouterr().err
+
+    def test_plan_flow_error_exits_2(self, capsys, monkeypatch):
+        from repro import __main__ as cli
+        from repro.errors import PlanningError
+
+        def _boom(*_a, **_k):
+            raise PlanningError("synthetic flow failure")
+
+        monkeypatch.setattr("repro.core.plan_interconnect", _boom)
+        assert main(["plan", "s27"]) == 2
+        err = capsys.readouterr().err
+        assert "synthetic flow failure" in err
+        assert cli.EXIT_ERROR == 2
+
+    def test_infeasible_distinguished_from_not_converged(self, monkeypatch):
+        """Exit 3 = infeasible target period, exit 1 = not converged."""
+        import repro.core as core
+        from repro import __main__ as cli
+
+        class _It:
+            infeasible = True
+
+        class _Outcome:
+            converged = False
+            final = _It()
+
+            def report(self):
+                return "stub report"
+
+        monkeypatch.setattr(core, "plan_interconnect", lambda *a, **k: _Outcome())
+        assert main(["plan", "s27"]) == cli.EXIT_INFEASIBLE
+        _It.infeasible = False
+        assert main(["plan", "s27"]) == cli.EXIT_NOT_CONVERGED
 
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):

@@ -177,10 +177,11 @@ class TestFloorplanBackends:
         assert it.floorplan.sequence_pair is None
 
     def test_unknown_backend_rejected(self):
-        from repro.errors import FloorplanError
+        """Config validation now rejects it up front, naming the field."""
+        from repro.errors import PlanningError
 
         g = random_circuit("slc2", n_units=30, n_ffs=10, seed=13)
-        with pytest.raises(FloorplanError, match="backend"):
+        with pytest.raises(PlanningError, match="floorplan_backend"):
             plan_interconnect(
                 g, seed=13, max_iterations=1, floorplan_backend="magic"
             )
@@ -243,6 +244,158 @@ class TestRepeaterBackends:
         with pytest.raises(PlanningError, match="repeater backend"):
             plan_interconnect(
                 g, seed=29, max_iterations=1, repeater_backend="laser"
+            )
+
+
+class TestConfigValidation:
+    """plan_interconnect rejects bad configs up front, naming the field."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return random_circuit("val", n_units=30, n_ffs=10, seed=3)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("whitespace", -0.1),
+            ("expansion_factor", 1.0),
+            ("expansion_factor", 0.5),
+            ("target_fraction", -0.01),
+            ("target_fraction", 1.5),
+            ("floorplan_backend", "magic"),
+            ("repeater_backend", "laser"),
+            ("n_max", 0),
+            ("max_rounds", 0),
+        ],
+    )
+    def test_bad_field_named_in_error(self, graph, field, value):
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError, match=field):
+            plan_interconnect(graph, max_iterations=1, **{field: value})
+
+    def test_validate_function_accepts_defaults(self):
+        from repro.core import validate_planner_config
+
+        validate_planner_config(PlannerConfig())
+
+    def test_lac_rejects_nonpositive_rounds(self, outcome):
+        """lac_retiming itself raises ValueError, not a bare assert."""
+        from repro.core import lac_retiming
+
+        it = outcome.first
+        with pytest.raises(ValueError, match="max_rounds"):
+            lac_retiming(
+                it.expanded.graph,
+                it.expanded.unit_region,
+                it.grid,
+                it.t_clk,
+                max_rounds=0,
+            )
+        with pytest.raises(ValueError, match="n_max"):
+            lac_retiming(
+                it.expanded.graph,
+                it.expanded.unit_region,
+                it.grid,
+                it.t_clk,
+                n_max=0,
+            )
+
+
+class TestErrorPaths:
+    """Error paths the seed left untested (robustness satellite)."""
+
+    def test_converged_false_on_infeasible_final_iteration(self):
+        from repro.core.planner import PlanningIteration, PlanningOutcome
+
+        def iteration(index, infeasible):
+            return PlanningIteration(
+                index=index,
+                partition=None,
+                floorplan=None,
+                grid=None,
+                expanded=None,
+                t_init=2.0,
+                t_min=1.0,
+                t_clk=1.2,
+                min_area=None,
+                lac=None,
+                lac_seconds=0.0,
+                infeasible=infeasible,
+            )
+
+        outcome = PlanningOutcome(
+            circuit="x",
+            config=PlannerConfig(),
+            iterations=[iteration(1, False), iteration(2, True)],
+        )
+        assert outcome.converged is False
+        assert "infeasible" in outcome.report()
+
+    def test_congested_blocks_all_near_hard_blocks(self):
+        """Channel violations whose nearest block is hard expand
+        nothing — the planner then stops iterating."""
+        from types import SimpleNamespace
+
+        from repro.core.planner import _congested_blocks
+
+        grid = SimpleNamespace(
+            kind={"ch_0": "channel"},
+            region_of_cell={(0, 0): "ch_0"},
+            center_of_cell=lambda cell: (0.0, 0.0),
+        )
+        plan = SimpleNamespace(
+            placements={
+                "b0": SimpleNamespace(name="b0", center=(1.0, 1.0)),
+            },
+            blocks={"b0": SimpleNamespace(hard=True)},
+        )
+        report = SimpleNamespace(violating_regions=lambda: ["ch_0"])
+        iteration = SimpleNamespace(
+            grid=grid,
+            floorplan=plan,
+            lac=SimpleNamespace(report=report),
+        )
+        assert _congested_blocks(iteration) == []
+
+    def test_congested_blocks_without_lac(self):
+        from types import SimpleNamespace
+
+        from repro.core.planner import _congested_blocks
+
+        iteration = SimpleNamespace(grid=None, floorplan=None, lac=None)
+        assert _congested_blocks(iteration) == []
+
+    def test_infeasible_period_propagates_through_run_iteration(self):
+        """An InfeasiblePeriodError inside the retime stage is captured
+        on the iteration (strict mode), never raised to the caller."""
+        from repro.core.planner import _run_iteration
+        from repro.errors import InfeasiblePeriodError
+
+        g = random_circuit("prop", n_units=40, n_ffs=12, seed=9)
+        probe = plan_interconnect(
+            g, seed=9, max_iterations=1, floorplan_iterations=300
+        )
+        it = _run_iteration(
+            g,
+            probe.first.partition,
+            probe.first.floorplan,
+            probe.config,
+            index=2,
+            t_clk=1e-6,
+        )
+        assert it.infeasible and not it.degraded
+        assert it.lac is None and it.min_area is None
+        # ... and lac_retiming itself does raise when called directly.
+        from repro.core import lac_retiming
+
+        first = probe.first
+        with pytest.raises(InfeasiblePeriodError):
+            lac_retiming(
+                first.expanded.graph,
+                first.expanded.unit_region,
+                first.grid,
+                1e-6,
             )
 
 
