@@ -5,7 +5,9 @@ Commands:
 * ``plan <circuit>``   — run the full interconnect-planning flow on a
   Table-1 benchmark circuit (or ``s27``) and print the report;
 * ``table1 [names..]`` — regenerate the paper's Table 1 (all circuits
-  or a subset);
+  or a subset; ``--jobs N`` runs circuits in parallel);
+* ``bench [names..]``  — time the planning flow per stage and write
+  ``BENCH_<n>.json`` (see :mod:`repro.perf.bench`);
 * ``verify``           — retime s27 at minimum period and verify
   behavioural equivalence by gate-level simulation;
 * ``circuits``         — list the benchmark suite.
@@ -89,9 +91,23 @@ def _cmd_table1(args) -> int:
     argv = list(args.names)
     if args.quick:
         argv.append("--quick")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
     for fault in args.inject_fault:
         argv += ["--inject-fault", fault]
     return table1_main(argv)
+
+
+def _cmd_bench(args) -> int:
+    from repro.perf.bench import main as bench_main
+
+    argv = list(args.names)
+    if args.quick:
+        argv.append("--quick")
+    if args.cold:
+        argv.append("--cold")
+    argv += ["--engine", args.engine, "--out", args.out]
+    return bench_main(argv)
 
 
 def _cmd_verify(_args) -> int:
@@ -166,6 +182,13 @@ def main(argv=None) -> int:
     p_table.add_argument("names", nargs="*", help="subset of circuit names")
     p_table.add_argument("--quick", action="store_true", help="fast smoke run")
     p_table.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run circuits in N worker processes (default: serial)",
+    )
+    p_table.add_argument(
         "--inject-fault",
         action="append",
         default=[],
@@ -173,6 +196,27 @@ def main(argv=None) -> int:
         help="deterministically fail STAGE for CIRCUIT (testing harness)",
     )
     p_table.set_defaults(func=_cmd_table1)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the planning flow per stage, write BENCH_<n>.json"
+    )
+    p_bench.add_argument("names", nargs="*", help="subset of circuit names")
+    p_bench.add_argument(
+        "--quick", action="store_true", help="smoke subset, one iteration"
+    )
+    p_bench.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable the incremental LAC solver (baseline timing)",
+    )
+    p_bench.add_argument(
+        "--engine", choices=("auto", "highs", "ssp"), default="auto"
+    )
+    p_bench.add_argument(
+        "--out", default="benchmarks/results", metavar="DIR",
+        help="output directory (default: benchmarks/results)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_verify = sub.add_parser("verify", help="simulate retimed s27 vs original")
     p_verify.set_defaults(func=_cmd_verify)

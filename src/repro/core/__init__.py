@@ -1,7 +1,7 @@
 """The paper's contribution: LAC-retiming and the planning flow."""
 
 from repro.core.lac import LACResult, lac_retiming
-from repro.core.metrics import AreaReport, area_report
+from repro.core.metrics import AreaAccountant, AreaReport, area_report
 from repro.core.placement import (
     PlacedFlipFlop,
     commit_flip_flop_area,
@@ -24,6 +24,7 @@ __all__ = [
     "LACResult",
     "area_report",
     "AreaReport",
+    "AreaAccountant",
     "place_flip_flops",
     "commit_flip_flop_area",
     "PlacedFlipFlop",

@@ -16,6 +16,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Mapping
 
+import numpy as np
+
 from repro.netlist.graph import INTERCONNECT, CircuitGraph
 from repro.retime.expand import IO_REGION
 from repro.tech.params import DEFAULT_TECH, Technology
@@ -53,6 +55,83 @@ class AreaReport:
             else:
                 ratios[region] = consumption / cap
         return ratios
+
+
+class AreaAccountant:
+    """Computes :class:`AreaReport` directly from retiming labels.
+
+    Materialising ``graph.retimed(labels)`` just to count flip-flops
+    copies the whole multigraph; LAC does that once per reweighting
+    round. This accountant snapshots the per-connection structure
+    (fanin index, weight, fanin region, interconnect flag) once, then
+    scores any label vector with a few vectorised passes:
+    ``w_r(e) = w(e) + r(v) - r(u)``.
+
+    For any labels that yield non-negative retimed weights,
+    ``accountant.report(labels, grid, tech)`` equals
+    ``area_report(graph.retimed(labels), unit_region, grid, tech)``.
+    """
+
+    def __init__(self, graph: CircuitGraph, unit_region: Mapping[str, str]):
+        self._order = list(graph.units())
+        index = {u: i for i, u in enumerate(self._order)}
+        conn_u = []
+        conn_v = []
+        weights = []
+        region_ids = []
+        interconnect = []
+        regions: Dict[str, int] = {}
+        for (u, v, _key), w in graph.connections():
+            conn_u.append(index[u])
+            conn_v.append(index[v])
+            weights.append(w)
+            region = unit_region.get(u, IO_REGION)
+            region_ids.append(regions.setdefault(region, len(regions)))
+            interconnect.append(graph.kind(u) == INTERCONNECT)
+        self._conn_u = np.asarray(conn_u, dtype=np.int64)
+        self._conn_v = np.asarray(conn_v, dtype=np.int64)
+        self._w = np.asarray(weights, dtype=np.int64)
+        self._region_id = np.asarray(region_ids, dtype=np.int64)
+        self._interconnect = np.asarray(interconnect, dtype=bool)
+        self._regions = list(regions)
+
+    def report(
+        self,
+        labels: Mapping[str, int],
+        grid: TileGrid,
+        tech: Technology = DEFAULT_TECH,
+    ) -> AreaReport:
+        """Score ``labels`` against the grid without retiming the graph."""
+        n = len(self._order)
+        r = np.fromiter(
+            (labels.get(u, 0) for u in self._order), dtype=np.int64, count=n
+        )
+        wr = self._w + r[self._conn_v] - r[self._conn_u]
+        n_f = int(wr.sum())
+        n_fn = int(wr[self._interconnect].sum())
+        counts = np.bincount(
+            self._region_id, weights=wr, minlength=len(self._regions)
+        ).astype(np.int64)
+        ff_count = {
+            self._regions[k]: int(c) for k, c in enumerate(counts) if c > 0
+        }
+        violations: Dict[str, int] = {}
+        n_foa = 0
+        for region, count in ff_count.items():
+            if region == IO_REGION:
+                continue
+            fits = int(max(0.0, grid.remaining(region)) // tech.ff_area)
+            over = max(0, count - fits)
+            if over:
+                violations[region] = over
+                n_foa += over
+        return AreaReport(
+            ff_count=ff_count,
+            violations=violations,
+            n_foa=n_foa,
+            n_f=n_f,
+            n_fn=n_fn,
+        )
 
 
 def area_report(

@@ -83,6 +83,8 @@ class PlannerConfig:
     repeater_backend: str = "path"  # "path" (per-connection DP) | "tree"
     tech: Technology = DEFAULT_TECH
     resilience: Optional[ResilienceConfig] = None  # None -> defaults
+    lac_incremental: bool = True  # warm-started LAC solver (False = cold)
+    lac_solver_engine: str = "auto"  # "auto" | "highs" | "ssp"
 
 
 def validate_planner_config(config: PlannerConfig) -> None:
@@ -125,6 +127,11 @@ def validate_planner_config(config: PlannerConfig) -> None:
     if config.max_rounds < 1:
         raise PlanningError(
             f"PlannerConfig.max_rounds must be >= 1, got {config.max_rounds}"
+        )
+    if config.lac_solver_engine not in ("auto", "highs", "ssp"):
+        raise PlanningError(
+            "PlannerConfig.lac_solver_engine must be 'auto', 'highs' or "
+            f"'ssp', got {config.lac_solver_engine!r}"
         )
 
 
@@ -377,6 +384,8 @@ def _run_iteration_stages(
             max_rounds=config.max_rounds,
             wd=wd,
             system=system,
+            incremental=config.lac_incremental,
+            solver_engine=config.lac_solver_engine,
         )
         lac_seconds = time.perf_counter() - start
         return min_area_timed, lac_result, lac_seconds
@@ -471,6 +480,7 @@ def plan_interconnect(
     config: Optional[PlannerConfig] = None,
     max_iterations: int = 2,
     faults: Optional[FaultInjector] = None,
+    perf=None,
     **overrides,
 ) -> PlanningOutcome:
     """Run the full interconnect-planning flow on a circuit.
@@ -481,7 +491,9 @@ def plan_interconnect(
     Stages run under ``config.resilience`` (the default posture gives
     the stochastic stages a retry and degrades infeasible periods);
     ``faults`` optionally injects deterministic failures/delays for
-    testing the recovery paths.
+    testing the recovery paths. ``perf``, if given, is a
+    :class:`repro.perf.PerfRecorder` that receives per-stage wall time
+    (from the run ledger) and the retiming sub-timings on completion.
     """
     if config is None:
         config = PlannerConfig()
@@ -551,6 +563,9 @@ def plan_interconnect(
         )
         iterations.append(current)
 
-    return PlanningOutcome(
+    outcome = PlanningOutcome(
         circuit=graph.name, config=config, iterations=iterations, ledger=ledger
     )
+    if perf is not None:
+        perf.ingest_outcome(outcome)
+    return outcome

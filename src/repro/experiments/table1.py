@@ -22,9 +22,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Mapping, Optional, Sequence
 
+import time
+
 from repro.core.planner import PlanningOutcome, plan_interconnect
+from repro.errors import ReproError
 from repro.experiments.circuits import TABLE1_CIRCUITS, CircuitSpec
-from repro.resilience.batch import BatchResult, run_batch
+from repro.resilience.batch import BatchItem, BatchResult, run_batch
 from repro.resilience.faults import FaultInjector
 
 
@@ -123,6 +126,50 @@ def run_table1(
     return rows
 
 
+def _worker_init() -> None:
+    """Warm each worker process before any circuit is timed.
+
+    The incremental solver lazily imports scipy's HiGHS bindings; in a
+    fresh worker that cold import would otherwise land inside the
+    first circuit's ``lac_seconds``.
+    """
+    from repro.retime.incremental import _load_highs
+
+    _load_highs()
+
+
+def _run_circuit_item(payload) -> BatchItem:
+    """Worker for parallel Table-1 runs: one circuit -> one item.
+
+    Module-level so it pickles into worker processes. ``ReproError``
+    is caught *inside* the worker and flattened to the item's error
+    string — the same format :func:`run_batch` produces — both to keep
+    fault isolation identical to the serial path and because repro
+    exceptions with structured constructors (e.g.
+    ``InfeasiblePeriodError(period, detail)``) do not round-trip
+    through pickle as raised exceptions.
+    """
+    spec, max_iterations, faults, overrides = payload
+    start = time.perf_counter()
+    try:
+        row = run_circuit(
+            spec, max_iterations=max_iterations, faults=faults, **overrides
+        )
+    except ReproError as exc:
+        return BatchItem(
+            name=spec.name,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - start,
+        )
+    return BatchItem(
+        name=spec.name,
+        ok=True,
+        result=row,
+        seconds=time.perf_counter() - start,
+    )
+
+
 def run_table1_resilient(
     circuits: Optional[Sequence[CircuitSpec]] = None,
     max_iterations: int = 2,
@@ -131,6 +178,7 @@ def run_table1_resilient(
         Callable[[str], Optional[FaultInjector]]
     ] = None,
     plan_overrides: Optional[Mapping[str, object]] = None,
+    jobs: int = 1,
 ) -> BatchResult:
     """Fault-isolated Table-1 run: one bad circuit cannot kill the batch.
 
@@ -139,15 +187,15 @@ def run_table1_resilient(
     carries a :class:`Table1Row`). ``faults_for(name)`` may supply a
     per-circuit fault injector (used by CI to exercise recovery and
     isolation paths).
+
+    ``jobs > 1`` runs circuits in that many worker processes. Items
+    are collected in submission order, so the table (and every field
+    except the wall-clock ``seconds``/``ma_seconds``/``lac_seconds``)
+    is identical to a serial run; per-circuit fault isolation carries
+    over because workers flatten ``ReproError`` themselves.
     """
     specs = list(circuits if circuits is not None else TABLE1_CIRCUITS)
     overrides = dict(plan_overrides or {})
-
-    def _thunk(spec: CircuitSpec):
-        faults = faults_for(spec.name) if faults_for is not None else None
-        return lambda: run_circuit(
-            spec, max_iterations=max_iterations, faults=faults, **overrides
-        )
 
     def _progress(item):
         if not verbose:
@@ -159,6 +207,38 @@ def run_table1_resilient(
 
     if verbose and specs:
         print(format_rows([], header=True))
+
+    if jobs > 1 and len(specs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (
+                spec,
+                max_iterations,
+                faults_for(spec.name) if faults_for is not None else None,
+                overrides,
+            )
+            for spec in specs
+        ]
+        batch = BatchResult()
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)), initializer=_worker_init
+        ) as pool:
+            futures = [pool.submit(_run_circuit_item, p) for p in payloads]
+            # Submission order, not completion order: the table reads
+            # identically however the workers interleave.
+            for future in futures:
+                item = future.result()
+                batch.items.append(item)
+                _progress(item)
+        return batch
+
+    def _thunk(spec: CircuitSpec):
+        faults = faults_for(spec.name) if faults_for is not None else None
+        return lambda: run_circuit(
+            spec, max_iterations=max_iterations, faults=faults, **overrides
+        )
+
     return run_batch(
         [(spec.name, _thunk(spec)) for spec in specs], on_item=_progress
     )
@@ -278,6 +358,13 @@ def main(argv=None) -> int:
         help="fast smoke settings (fewer anneal iterations, 1 iteration)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run circuits in N worker processes (default: serial)",
+    )
+    parser.add_argument(
         "--inject-fault",
         action="append",
         default=[],
@@ -286,6 +373,9 @@ def main(argv=None) -> int:
         "(fault-injection harness; repeatable)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     try:
         specs = (
@@ -305,6 +395,7 @@ def main(argv=None) -> int:
         verbose=True,
         faults_for=_parse_fault_args(args.inject_fault),
         plan_overrides=overrides,
+        jobs=args.jobs,
     )
     print()
     print(format_batch(batch))

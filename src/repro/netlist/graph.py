@@ -55,6 +55,10 @@ class CircuitGraph:
     def __init__(self, name: str = "circuit"):
         self.name = name
         self._g = nx.MultiDiGraph()
+        # Cached weakly-connected components (topology-only; weight
+        # edits don't invalidate). LAC re-normalises labels on a
+        # structurally identical graph every round, so this is hot.
+        self._wcc_cache: Optional[List[frozenset]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -80,6 +84,7 @@ class CircuitGraph:
         if kind not in _VALID_KINDS:
             raise NetlistError(f"unit {unit!r} has unknown kind {kind!r}")
         self._g.add_node(unit, delay=float(delay), area=float(area), kind=kind)
+        self._wcc_cache = None
         return unit
 
     def ensure_hosts(self) -> Tuple[str, str]:
@@ -87,6 +92,7 @@ class CircuitGraph:
         for host in (HOST_SRC, HOST_SNK):
             if host not in self._g:
                 self._g.add_node(host, delay=0.0, area=0.0, kind=HOST_KIND)
+                self._wcc_cache = None
         return HOST_SRC, HOST_SNK
 
     def add_connection(self, u: str, v: str, weight: int = 0) -> ConnectionId:
@@ -97,6 +103,7 @@ class CircuitGraph:
         if weight < 0:
             raise NetlistError(f"connection {u!r}->{v!r} has negative weight {weight}")
         key = self._g.add_edge(u, v, weight=int(weight))
+        self._wcc_cache = None
         return (u, v, key)
 
     # ------------------------------------------------------------------
@@ -201,6 +208,7 @@ class CircuitGraph:
     def copy(self, name: Optional[str] = None) -> "CircuitGraph":
         out = CircuitGraph(name or self.name)
         out._g = self._g.copy()
+        out._wcc_cache = self._wcc_cache  # same topology; frozensets shared
         return out
 
     def retimed(self, labels: Mapping[str, int], name: Optional[str] = None) -> "CircuitGraph":
@@ -221,6 +229,19 @@ class CircuitGraph:
                 )
             out._g.edges[u, v, key]["weight"] = wr
         return out
+
+    def weakly_connected_components(self) -> List[frozenset]:
+        """Weakly-connected components of the unit graph, cached.
+
+        Parallel connections and weights don't affect connectivity, so
+        the cache survives weight edits (``set_weight``, ``retimed``)
+        and is only dropped when units or connections are added.
+        """
+        if self._wcc_cache is None:
+            self._wcc_cache = [
+                frozenset(c) for c in nx.weakly_connected_components(self._g)
+            ]
+        return self._wcc_cache
 
     def nx_multigraph(self) -> nx.MultiDiGraph:
         """The underlying networkx graph (treat as read-only)."""

@@ -1,0 +1,31 @@
+"""Performance instrumentation: stage timers and the bench runner.
+
+:class:`PerfRecorder` accumulates named stage timings — either via the
+``stage()`` context manager around ad-hoc code, or by ingesting a
+finished :class:`~repro.core.planner.PlanningOutcome` (whose
+:class:`~repro.resilience.ledger.RunLedger` already carries wall time
+per planning stage). ``python -m repro bench`` runs the planner over
+the Table 1 circuits with a recorder attached and writes the result as
+``BENCH_<n>.json`` — see :mod:`repro.perf.bench` for the schema.
+"""
+
+from repro.perf.recorder import PerfRecorder, StageTiming
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    bench_circuit,
+    main,
+    next_bench_path,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "PerfRecorder",
+    "StageTiming",
+    "BENCH_SCHEMA",
+    "bench_circuit",
+    "run_bench",
+    "write_bench",
+    "next_bench_path",
+    "main",
+]

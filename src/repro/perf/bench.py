@@ -1,0 +1,231 @@
+"""The ``repro bench`` runner: planner timings as ``BENCH_<n>.json``.
+
+Each run produces one JSON document (schema ``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "mode": "warm" | "cold",        # incremental LAC solver on/off
+      "engine": "auto" | "highs" | "ssp",
+      "quick": bool,
+      "circuits": [
+        {
+          "name": "s298", "ok": true,
+          "t_clk": ..., "n_wr": ..., "n_foa": ..., "n_f": ...,
+          "ma_seconds": ...,          # min-area baseline (null if skipped)
+          "lac_seconds": ...,         # whole LAC stage, first iteration
+          "lac_round_seconds": [...], # per weighted-min-area round
+          "solver": {...},            # IncrementalStats (null on cold path)
+          "stages": [{"name", "seconds", "calls"}, ...],
+          "wall_seconds": ...
+        }, ...
+      ],
+      "totals": {"wall_seconds", "lac_seconds", "ma_seconds", "n_wr"}
+    }
+
+Files are numbered ``BENCH_0.json``, ``BENCH_1.json``, ... — the next
+free integer in the output directory — so successive runs (e.g. a cold
+baseline and an optimised run) sit side by side for comparison.
+
+A circuit that fails with a :class:`~repro.errors.ReproError` is
+recorded as ``{"ok": false, "error": ...}`` and benching continues;
+only a crash (non-repro exception) aborts the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.planner import plan_interconnect
+from repro.errors import ReproError
+from repro.experiments.circuits import (
+    TABLE1_CIRCUITS,
+    TABLE1_SMOKE,
+    CircuitSpec,
+    get_circuit,
+)
+from repro.perf.recorder import PerfRecorder
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Planner overrides for ``--quick`` (CI smoke): a short floorplan
+#: anneal and a single planning iteration.
+QUICK_OVERRIDES = {"floorplan_iterations": 300}
+
+
+def bench_circuit(
+    spec: CircuitSpec,
+    quick: bool = False,
+    cold: bool = False,
+    engine: str = "auto",
+) -> Dict[str, object]:
+    """Bench one circuit; returns its entry for the JSON document."""
+    perf = PerfRecorder()
+    overrides: Dict[str, object] = {"lac_incremental": not cold}
+    if not cold:
+        overrides["lac_solver_engine"] = engine
+    if quick:
+        overrides.update(QUICK_OVERRIDES)
+    start = time.perf_counter()
+    try:
+        outcome = plan_interconnect(
+            spec.build(),
+            seed=spec.seed,
+            max_iterations=1 if quick else 2,
+            whitespace=spec.whitespace,
+            n_blocks=spec.n_blocks,
+            perf=perf,
+            **overrides,
+        )
+    except ReproError as exc:
+        return {
+            "name": spec.name,
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "wall_seconds": round(time.perf_counter() - start, 6),
+        }
+    wall = time.perf_counter() - start
+    first = outcome.iterations[0]
+    lac = first.lac
+    return {
+        "name": spec.name,
+        "ok": True,
+        "t_clk": first.t_clk,
+        "infeasible": first.infeasible,
+        "n_wr": lac.n_wr if lac is not None else None,
+        "n_foa": lac.report.n_foa if lac is not None else None,
+        "n_f": lac.report.n_f if lac is not None else None,
+        "ma_seconds": (
+            round(first.min_area.seconds, 6)
+            if first.min_area is not None
+            else None
+        ),
+        "lac_seconds": round(first.lac_seconds, 6),
+        "lac_round_seconds": (
+            [round(s, 6) for s in lac.round_seconds] if lac is not None else []
+        ),
+        "solver": lac.solver_stats if lac is not None else None,
+        "stages": perf.to_dict()["stages"],
+        "wall_seconds": round(wall, 6),
+    }
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    cold: bool = False,
+    engine: str = "auto",
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """Bench a set of circuits and return the full document."""
+    if names:
+        specs = [get_circuit(n) for n in names]
+    else:
+        specs = list(TABLE1_SMOKE if quick else TABLE1_CIRCUITS)
+    entries: List[Dict[str, object]] = []
+    for spec in specs:
+        entry = bench_circuit(spec, quick=quick, cold=cold, engine=engine)
+        entries.append(entry)
+        if verbose:
+            if entry["ok"]:
+                print(
+                    f"{spec.name:>8}: lac={entry['lac_seconds']:.3f}s "
+                    f"n_wr={entry['n_wr']} wall={entry['wall_seconds']:.3f}s"
+                )
+            else:
+                print(f"{spec.name:>8}: FAILED ({entry['error']})")
+    ok = [e for e in entries if e["ok"]]
+    totals = {
+        "wall_seconds": round(sum(e["wall_seconds"] for e in entries), 6),
+        "lac_seconds": round(sum(e["lac_seconds"] for e in ok), 6),
+        "ma_seconds": round(
+            sum(e["ma_seconds"] for e in ok if e["ma_seconds"] is not None), 6
+        ),
+        "n_wr": sum(e["n_wr"] for e in ok if e["n_wr"] is not None),
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": "cold" if cold else "warm",
+        "engine": "cold" if cold else engine,
+        "quick": quick,
+        "circuits": entries,
+        "totals": totals,
+    }
+
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def next_bench_path(out_dir: Path) -> Path:
+    """First free ``BENCH_<n>.json`` path in ``out_dir``."""
+    taken = set()
+    if out_dir.is_dir():
+        for p in out_dir.iterdir():
+            m = _BENCH_RE.match(p.name)
+            if m:
+                taken.add(int(m.group(1)))
+    n = 0
+    while n in taken:
+        n += 1
+    return out_dir / f"BENCH_{n}.json"
+
+
+def write_bench(doc: Dict[str, object], out_dir: Path) -> Path:
+    """Write ``doc`` to the next free ``BENCH_<n>.json``; returns it."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = next_bench_path(out_dir)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="Time the planning flow per stage."
+    )
+    parser.add_argument(
+        "names", nargs="*", help="circuit names (default: full Table 1 suite)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke subset with a short floorplan anneal, one iteration",
+    )
+    parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable the incremental LAC solver (baseline timing)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "highs", "ssp"),
+        default="auto",
+        help="incremental solver engine (ignored with --cold)",
+    )
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results",
+        help="output directory for BENCH_<n>.json",
+    )
+    args = parser.parse_args(argv)
+    doc = run_bench(
+        names=args.names,
+        quick=args.quick,
+        cold=args.cold,
+        engine=args.engine,
+        verbose=True,
+    )
+    path = write_bench(doc, Path(args.out))
+    totals = doc["totals"]
+    print(
+        f"wrote {path} (mode={doc['mode']}, "
+        f"lac={totals['lac_seconds']:.3f}s, wall={totals['wall_seconds']:.3f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Stage-level wall-clock accounting.
+
+The planner already times every resilient stage into its
+:class:`~repro.resilience.ledger.RunLedger`; :class:`PerfRecorder`
+aggregates those records (plus the retiming sub-timings that live on
+each :class:`~repro.core.planner.PlanningIteration`) into one flat
+name -> seconds table that serialises cleanly into the bench JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+@dataclasses.dataclass
+class StageTiming:
+    """Accumulated wall time for one named stage."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "calls": self.calls,
+        }
+
+
+class PerfRecorder:
+    """Accumulates named stage timings, preserving first-seen order."""
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, StageTiming] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        timing = self._stages.get(name)
+        if timing is None:
+            timing = self._stages[name] = StageTiming(name)
+        timing.seconds += seconds
+        timing.calls += 1
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a block of code under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    def ingest_ledger(self, ledger) -> None:
+        """Pull per-stage wall time from a :class:`RunLedger`."""
+        for record in ledger.records:
+            self.add(record.name, record.seconds)
+
+    def ingest_outcome(self, outcome) -> None:
+        """Ingest a :class:`PlanningOutcome`: ledger stages + retiming
+        sub-timings (min-area baseline, LAC total, LAC per-round sum).
+        """
+        self.ingest_ledger(outcome.ledger)
+        for it in outcome.iterations:
+            if it.min_area is not None:
+                self.add("retime/min_area", it.min_area.seconds)
+            if it.lac is not None:
+                self.add("retime/lac", it.lac_seconds)
+                for s in it.lac.round_seconds:
+                    self.add("retime/lac/rounds", s)
+
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> List[StageTiming]:
+        return list(self._stages.values())
+
+    @property
+    def total_seconds(self) -> float:
+        # Nested timings ("retime/...") are views into their parent
+        # stage, not extra wall time.
+        return sum(
+            t.seconds for t in self._stages.values() if "/" not in t.name
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stages": [t.to_dict() for t in self._stages.values()],
+            "total_seconds": round(self.total_seconds, 6),
+        }

@@ -12,6 +12,7 @@ from repro.retime.constraints import (
 )
 from repro.retime.feas import arrival_times, feas_labels
 from repro.retime.flow import feasible_labels, optimal_labels
+from repro.retime.incremental import IncrementalMinArea, IncrementalStats
 from repro.retime.minarea import (
     RetimingResult,
     min_area_retiming,
@@ -47,6 +48,8 @@ __all__ = [
     "feas_labels",
     "arrival_times",
     "optimal_labels",
+    "IncrementalMinArea",
+    "IncrementalStats",
     "RetimingResult",
     "retiming_objective",
     "min_area_retiming",

@@ -2,23 +2,42 @@
 
 The retiming LP dual (:mod:`repro.retime.flow`) needs a min-cost-flow
 solver; this module provides one that does not depend on networkx,
-implementing the classic *successive shortest augmenting path*
-algorithm with Johnson potentials:
+implementing the *successive shortest augmenting path* algorithm with
+Johnson potentials:
 
 1. initial potentials by Bellman–Ford over all arcs (costs may be
    negative; a negative cycle means the problem is unbounded, i.e. the
    primal retiming constraints are infeasible);
-2. repeatedly route flow from an excess node to a deficit node along a
-   shortest path under *reduced* costs (all non-negative, so Dijkstra
+2. repeatedly route flow from excess nodes to deficit nodes along
+   shortest paths under *reduced* costs (all non-negative, so Dijkstra
    applies), augmenting by the bottleneck amount;
-3. potentials are updated with the Dijkstra distances after every
-   augmentation, keeping reduced costs non-negative.
+3. potentials are updated with the Dijkstra distances, keeping reduced
+   costs non-negative.
 
-Arc capacities here are conceptually infinite (retiming's dual has no
-capacities); they are capped at the total supply, which some optimal
-solution never exceeds, preserving optimality while keeping the
-algorithm finite. With integer demands and costs the result is
-integral.
+Arc capacities are conceptually infinite (retiming's dual has no
+capacities), so forward arcs never saturate; only backward (residual)
+arcs can. With integer demands and costs the result is integral.
+
+The implementation is engineered for repeated solves over one network
+(:mod:`repro.retime.incremental` re-solves across LAC rounds):
+
+* **flat storage** — arc heads/costs live in per-node adjacency tuples
+  plus parallel numpy arrays; flows are a single list indexed by
+  forward-arc id (the backward twin is implicit), so resetting a solve
+  is one allocation, not an object-graph rebuild;
+* **vectorised Bellman–Ford** — one Jacobi relaxation round per pass
+  over all forward arcs at once;
+* **multi-source Dijkstra with early exit** — every search starts from
+  *all* remaining excess nodes at distance zero and stops at the first
+  deficit popped, which by Dijkstra's invariant is the globally
+  nearest one;
+* **search continuation** — augmenting along shortest-path tree arcs
+  only ever *adds* residual arcs (the reverse of a zero-reduced-cost
+  tree arc cannot shorten any label) unless a backward arc on the path
+  saturates or the path's root runs out of excess; in the common case
+  (the target's deficit is filled) the same search keeps popping for
+  the next deficit, and the Johnson potential update is deferred to
+  the end of the search, clamped at the last target's distance.
 
 The solver returns both the flow and the final potentials; for the
 retiming dual the potentials directly provide optimal labels
@@ -27,29 +46,244 @@ retiming dual the potentials directly provide optimal labels
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import InfeasibleConstraintsError, UnboundedObjectiveError
 
 Node = Hashable
 
 _INF = float("inf")
+_EPS = 1e-12
+_TOL = 1e-9
+
+# _augment outcomes
+_OK = 0
+_SATURATED = 1
+_DEAD_ROOT = 2
+_ROOT_EXHAUSTED = 3
 
 
-@dataclasses.dataclass
-class _Arc:
-    """One directed arc and its residual twin, stored forward-only."""
+class _Network:
+    """Flat residual network shared by the one-shot and incremental solvers.
 
-    head: int  # target node index
-    cost: float
-    cap: float
-    flow: float = 0.0
+    Forward arc ``k`` (``tails[k] -> heads[k]``, cost ``costs[k]``) has
+    unlimited capacity; its backward twin has capacity equal to the
+    current forward flow. ``flow[k]`` is the only mutable state.
+    Adjacency entries are ``(k, forward, other_endpoint, cost)``
+    tuples, kept as plain Python objects because the Dijkstra inner
+    loop is scalar — numpy is used where work is bulk (Bellman–Ford,
+    potential updates).
+    """
 
-    @property
-    def residual(self) -> float:
-        return self.cap - self.flow
+    def __init__(
+        self,
+        n: int,
+        tails: Sequence[int],
+        heads: Sequence[int],
+        costs: Sequence[float],
+    ):
+        self.n = n
+        self.m = len(tails)
+        self._bf_tails = np.asarray(tails, dtype=np.int64)
+        self._bf_heads = np.asarray(heads, dtype=np.int64)
+        self._bf_costs = np.asarray(costs, dtype=np.float64)
+        self.flow: List[float] = [0.0] * self.m
+        adj: List[List[Tuple[int, bool, int, float]]] = [[] for _ in range(n)]
+        for k in range(self.m):
+            u, v, c = tails[k], heads[k], float(costs[k])
+            adj[u].append((k, True, v, c))
+            adj[v].append((k, False, u, -c))
+        self.adj = adj
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero all flows for a fresh solve over the same arcs."""
+        self.flow = [0.0] * self.m
+
+    # ------------------------------------------------------------------
+    def bellman_ford(self) -> List[float]:
+        """Potentials from a virtual zero-cost source (vectorised).
+
+        One Jacobi relaxation round per iteration over all forward arcs
+        at once; convergence within ``n + 1`` rounds, otherwise a
+        negative-cost cycle exists.
+        """
+        pot = np.zeros(self.n, dtype=np.float64)
+        if self.m == 0:
+            return pot.tolist()
+        ft, fh, fc = self._bf_tails, self._bf_heads, self._bf_costs
+        for _round in range(self.n + 1):
+            new = pot.copy()
+            np.minimum.at(new, fh, pot[ft] + fc)
+            if not (new < pot - _EPS).any():
+                return pot.tolist()
+            pot = new
+        raise InfeasibleConstraintsError(
+            "negative-cost cycle (primal constraints infeasible)"
+        )
+
+    # ------------------------------------------------------------------
+    def run_ssp(
+        self, excess: List[float], potential: List[float]
+    ) -> Tuple[float, int]:
+        """Successive shortest paths; mutates flows, excess, potential.
+
+        ``excess[i] > 0`` means node ``i`` has supply to send;
+        ``potential`` must make every residual arc's reduced cost
+        non-negative (Bellman–Ford potentials for fresh arcs, or the
+        previous optimum for a warm-started re-solve — forward arcs
+        never saturate, so an optimal potential vector stays valid
+        after flows are reset).
+
+        Returns ``(total_cost, n_augmentations)``. Raises
+        :class:`UnboundedObjectiveError` when excess cannot reach any
+        deficit node.
+        """
+        n = self.n
+        flow = self.flow
+        adj = self.adj
+        n_aug = 0
+        sources = [i for i in range(n) if excess[i] > _TOL]
+        while sources:
+            # One multi-source search, serving as many (root, target)
+            # pairs as it can: the first deficit popped is the
+            # globally nearest (Dijkstra invariant over a virtual
+            # source), and both a filled target and an exhausted root
+            # leave the label set usable — all the invariants below
+            # rest on relaxation inequalities, which don't reference
+            # the source set. Only a saturating backward arc (a
+            # residual arc vanishing) forces a restart.
+            dist = [_INF] * n
+            parent: List[Optional[Tuple[int, bool, int]]] = [None] * n
+            done = [False] * n
+            heap = [(0.0, s) for s in sources]
+            for s in sources:
+                dist[s] = 0.0
+            d_last = 0.0
+            live = len(sources)
+            augmented = False
+            while heap:
+                d, u = heapq.heappop(heap)
+                if done[u]:
+                    continue
+                done[u] = True
+                d_last = d
+                if excess[u] < -_TOL:
+                    outcome = self._augment(u, parent, excess)
+                    if outcome == _SATURATED:
+                        n_aug += 1
+                        augmented = True
+                        break
+                    if outcome == _ROOT_EXHAUSTED:
+                        n_aug += 1
+                        augmented = True
+                        live -= 1
+                        if live == 0:
+                            # no root can feed another path; popping
+                            # the rest of the heap would be wasted.
+                            break
+                    elif outcome == _OK:
+                        n_aug += 1
+                        augmented = True
+                    # A _DEAD_ROOT target (its tree path ends at a
+                    # root an earlier augmentation exhausted) simply
+                    # waits for the next search.
+                    # in both cases u is finalised like any other
+                    # node: fall through and relax its arcs, so later
+                    # deficits may route through it.
+                du_base = d + potential[u]
+                for k, forward, v, c in adj[u]:
+                    if done[v] or (not forward and flow[k] <= _EPS):
+                        continue
+                    nd = du_base + c - potential[v]
+                    if nd < dist[v] - _EPS:
+                        dist[v] = nd
+                        parent[v] = (k, forward, u)
+                        heapq.heappush(heap, (nd, v))
+            # Deferred Johnson update, clamped at the pop watermark:
+            # every finitely-labelled node at or below d_last is
+            # finalised with a relaxation-consistent distance and
+            # every tentative label is >= d_last, so reduced costs
+            # stay non-negative — and each augmenting path used above
+            # has reduced cost zero under the updated potentials,
+            # which is the SSP optimality certificate.
+            for i in range(n):
+                di = dist[i]
+                potential[i] += di if di < d_last else d_last
+            sources = [i for i in sources if excess[i] > _TOL]
+            if sources and not augmented:
+                # Heap emptied with supply left and nothing moved: the
+                # residual graph is exactly what this search explored,
+                # so the remaining deficits are genuinely cut off.
+                # (After any augmentation the new backward arcs may
+                # open fresh reachability, so we just search again.)
+                raise UnboundedObjectiveError(
+                    "excess supply cannot reach any deficit node"
+                )
+        cost_total = 0.0
+        if self.m:
+            cost_total = float(np.dot(np.asarray(self.flow), self._bf_costs))
+        return cost_total, n_aug
+
+    # ------------------------------------------------------------------
+    def _augment(
+        self,
+        target: int,
+        parent: List[Optional[Tuple[int, bool, int]]],
+        excess: List[float],
+    ) -> int:
+        """Push the bottleneck along ``target``'s path.
+
+        Returns ``_OK`` when flow moved and every residual arc
+        survived, ``_ROOT_EXHAUSTED`` when flow moved and the path's
+        root gave its last excess (the labels stay usable, but the
+        caller should track how many live roots remain),
+        ``_SATURATED`` when a backward arc on the path dropped to
+        zero residual (the search's labels may now rest on a vanished
+        arc and must be rebuilt), or ``_DEAD_ROOT`` when the tree
+        path ends at a root a previous augmentation already exhausted
+        (nothing is pushed; the caller defers the target).
+        """
+        flow = self.flow
+        # walk to the root, computing the bottleneck
+        bottleneck = -excess[target]
+        node = target
+        while True:
+            entry = parent[node]
+            if entry is None:
+                break
+            k, forward, prev = entry
+            if not forward and flow[k] < bottleneck:
+                bottleneck = flow[k]
+            node = prev
+        root = node
+        if excess[root] <= _TOL:
+            return _DEAD_ROOT
+        if excess[root] < bottleneck:
+            bottleneck = excess[root]
+        # apply
+        saturated = False
+        node = target
+        while True:
+            entry = parent[node]
+            if entry is None:
+                break
+            k, forward, prev = entry
+            if forward:
+                flow[k] += bottleneck
+            else:
+                flow[k] -= bottleneck
+                if flow[k] <= _EPS:
+                    saturated = True
+            node = prev
+        excess[root] -= bottleneck
+        excess[target] += bottleneck
+        if saturated:
+            return _SATURATED
+        return _ROOT_EXHAUSTED if excess[root] <= _TOL else _OK
 
 
 class MinCostFlow:
@@ -59,10 +293,13 @@ class MinCostFlow:
         self._index: Dict[Node, int] = {}
         self._nodes: List[Node] = []
         self._demand: List[float] = []
-        # adjacency: per node, list of (arc_id); arcs stored in pairs
-        # (forward at even ids, backward residual at odd ids).
-        self._adj: List[List[int]] = []
-        self._arcs: List[_Arc] = []
+        # arcs accumulate as parallel lists; the flat network is
+        # assembled once, inside solve().
+        self._arc_tail: List[int] = []
+        self._arc_head: List[int] = []
+        self._arc_cost: List[float] = []
+        self._net: Optional[_Network] = None
+        self._pair_arcs: Optional[Dict[Tuple[int, int], List[int]]] = None
 
     # ------------------------------------------------------------------
     def _node(self, name: Node) -> int:
@@ -70,7 +307,6 @@ class MinCostFlow:
             self._index[name] = len(self._nodes)
             self._nodes.append(name)
             self._demand.append(0.0)
-            self._adj.append([])
         return self._index[name]
 
     def add_node(self, name: Node, demand: float = 0.0) -> None:
@@ -80,11 +316,11 @@ class MinCostFlow:
 
     def add_arc(self, u: Node, v: Node, cost: float) -> None:
         """Directed arc ``u -> v`` with unlimited capacity and ``cost``."""
-        ui, vi = self._node(u), self._node(v)
-        self._adj[ui].append(len(self._arcs))
-        self._arcs.append(_Arc(head=vi, cost=cost, cap=_INF))
-        self._adj[vi].append(len(self._arcs))
-        self._arcs.append(_Arc(head=ui, cost=-cost, cap=0.0))
+        self._arc_tail.append(self._node(u))
+        self._arc_head.append(self._node(v))
+        self._arc_cost.append(float(cost))
+        self._net = None
+        self._pair_arcs = None
 
     # ------------------------------------------------------------------
     def solve(self) -> Tuple[float, Dict[Node, float]]:
@@ -99,130 +335,37 @@ class MinCostFlow:
             InfeasibleConstraintsError: a negative-cost cycle with
                 unbounded capacity exists.
         """
-        n = len(self._nodes)
-        total_supply = sum(-d for d in self._demand if d < 0)
-        if abs(sum(self._demand)) > 1e-9:
+        demand = self._demand
+        if demand and abs(sum(demand)) > _TOL:
             raise ValueError("demands must sum to zero")
-        # Cap "infinite" arcs just above the total supply: cumulative
-        # flow on any arc never exceeds the total supply, so the cap is
-        # never binding (forward arcs stay residual, which is what the
-        # potential-based optimality argument needs).
-        for arc_id in range(0, len(self._arcs), 2):
-            self._arcs[arc_id].cap = 2.0 * total_supply + 1.0
-
-        potential = self._bellman_ford_potentials()
-
-        excess = [-d for d in self._demand]  # >0: has supply to send
-        cost_total = 0.0
-        while True:
-            sources = [i for i in range(n) if excess[i] > 1e-9]
-            if not sources:
-                break
-            src = sources[0]
-            dist, parent_arc = self._dijkstra(src, potential)
-            target = self._pick_deficit(dist, excess)
-            if target is None:
-                raise UnboundedObjectiveError(
-                    "excess supply cannot reach any deficit node"
-                )
-            # augment along the path by the bottleneck
-            bottleneck = excess[src]
-            i = target
-            while i != src:
-                arc = self._arcs[parent_arc[i]]
-                bottleneck = min(bottleneck, arc.residual)
-                i = self._tail(parent_arc[i])
-            bottleneck = min(bottleneck, -excess[target])
-            i = target
-            while i != src:
-                arc_id = parent_arc[i]
-                self._arcs[arc_id].flow += bottleneck
-                self._arcs[arc_id ^ 1].flow -= bottleneck
-                cost_total += bottleneck * self._arcs[arc_id].cost
-                i = self._tail(arc_id)
-            excess[src] -= bottleneck
-            excess[target] += bottleneck
-            # Johnson update keeps reduced costs non-negative; clamping
-            # at the target's distance handles nodes the search never
-            # reached (the standard successive-shortest-path variant).
-            d_target = dist[target]
-            for i in range(n):
-                potential[i] += min(dist[i], d_target)
-        potentials = {self._nodes[i]: potential[i] for i in range(n)}
+        self._net = _Network(
+            len(self._nodes), self._arc_tail, self._arc_head, self._arc_cost
+        )
+        potential = self._net.bellman_ford()
+        excess = [-d for d in demand]
+        cost_total, _n_aug = self._net.run_ssp(excess, potential)
+        potentials = {
+            self._nodes[i]: potential[i] for i in range(len(self._nodes))
+        }
         return cost_total, potentials
 
     def flow_on(self, u: Node, v: Node) -> float:
         """Total flow currently routed on arcs ``u -> v``."""
         ui = self._index.get(u)
         vi = self._index.get(v)
-        if ui is None or vi is None:
+        if ui is None or vi is None or self._net is None:
             return 0.0
-        total = 0.0
-        for arc_id in self._adj[ui]:
-            if arc_id % 2 == 0 and self._arcs[arc_id].head == vi:
-                total += self._arcs[arc_id].flow
-        return total
-
-    # ------------------------------------------------------------------
-    def _tail(self, arc_id: int) -> int:
-        """Tail node of an arc = head of its residual twin."""
-        return self._arcs[arc_id ^ 1].head
-
-    def _bellman_ford_potentials(self) -> List[float]:
-        n = len(self._nodes)
-        potential = [0.0] * n  # virtual source to all nodes at 0
-        for round_no in range(n + 1):
-            changed = False
-            for arc_id in range(0, len(self._arcs), 2):
-                arc = self._arcs[arc_id]
-                if arc.residual <= 0:
-                    continue
-                u = self._tail(arc_id)
-                if potential[u] + arc.cost < potential[arc.head] - 1e-12:
-                    potential[arc.head] = potential[u] + arc.cost
-                    changed = True
-            if not changed:
-                return potential
-        raise InfeasibleConstraintsError(
-            "negative-cost cycle (primal constraints infeasible)"
-        )
-
-    def _dijkstra(
-        self, src: int, potential: List[float]
-    ) -> Tuple[List[float], List[int]]:
-        n = len(self._nodes)
-        dist = [_INF] * n
-        parent_arc = [-1] * n
-        dist[src] = 0.0
-        heap = [(0.0, src)]
-        done = [False] * n
-        while heap:
-            d, u = heapq.heappop(heap)
-            if done[u]:
-                continue
-            done[u] = True
-            for arc_id in self._adj[u]:
-                arc = self._arcs[arc_id]
-                if arc.residual <= 1e-12:
-                    continue
-                v = arc.head
-                reduced = arc.cost + potential[u] - potential[v]
-                nd = d + reduced
-                if nd < dist[v] - 1e-12:
-                    dist[v] = nd
-                    parent_arc[v] = arc_id
-                    heapq.heappush(heap, (nd, v))
-        return dist, parent_arc
-
-    def _pick_deficit(
-        self, dist: List[float], excess: List[float]
-    ) -> Optional[int]:
-        best = None
-        for i, d in enumerate(dist):
-            if excess[i] < -1e-9 and d < _INF:
-                if best is None or d < dist[best]:
-                    best = i
-        return best
+        if self._pair_arcs is None:
+            # indexed lookup built once: (tail, head) -> forward arc ids
+            pairs: Dict[Tuple[int, int], List[int]] = {}
+            for k in range(len(self._arc_tail)):
+                key = (self._arc_tail[k], self._arc_head[k])
+                pairs.setdefault(key, []).append(k)
+            self._pair_arcs = pairs
+        arcs = self._pair_arcs.get((ui, vi))
+        if not arcs:
+            return 0.0
+        return float(sum(self._net.flow[k] for k in arcs))
 
 
 def solve_retiming_dual(

@@ -22,7 +22,7 @@ sum to zero exactly.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.errors import InfeasibleConstraintsError, InfeasiblePeriodError
 from repro.netlist.graph import CircuitGraph
@@ -73,20 +73,28 @@ def retiming_objective(
     return coeff
 
 
-def normalise_labels(graph: CircuitGraph, labels: Dict[str, int]) -> Dict[str, int]:
+def normalise_labels(
+    graph: CircuitGraph,
+    labels: Dict[str, int],
+    components: Optional[Sequence[frozenset]] = None,
+) -> Dict[str, int]:
     """Shift labels so every host vertex sits at 0.
 
     Labels are translation-invariant per weakly-connected component;
     components containing a host are shifted by that host's label
     (hosts in one component are already equal by the host constraints),
     other components are left as-is.
-    """
-    import networkx as nx
 
-    simple = graph.simple_min_weight_digraph()
+    Components are taken from the graph's cache
+    (:meth:`CircuitGraph.weakly_connected_components`) unless
+    precomputed ones are passed in — LAC calls this every round on
+    structurally identical graphs, so they are never recomputed there.
+    """
+    if components is None:
+        components = graph.weakly_connected_components()
     hosts = set(graph.host_units())
     out = dict(labels)
-    for comp in nx.weakly_connected_components(simple):
+    for comp in components:
         anchor = next((v for v in comp if v in hosts), None)
         if anchor is None:
             continue

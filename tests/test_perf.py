@@ -1,0 +1,123 @@
+"""Tests for the perf instrumentation and the bench runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.circuits import get_circuit
+from repro.perf import (
+    BENCH_SCHEMA,
+    PerfRecorder,
+    bench_circuit,
+    next_bench_path,
+    run_bench,
+    write_bench,
+)
+
+
+class TestPerfRecorder:
+    def test_add_accumulates(self):
+        perf = PerfRecorder()
+        perf.add("route", 1.0)
+        perf.add("route", 0.5)
+        perf.add("tiles", 0.25)
+        stages = {t.name: t for t in perf.stages}
+        assert stages["route"].seconds == 1.5
+        assert stages["route"].calls == 2
+        assert stages["tiles"].calls == 1
+
+    def test_stage_context_manager_times(self):
+        perf = PerfRecorder()
+        with perf.stage("work"):
+            pass
+        (timing,) = perf.stages
+        assert timing.name == "work"
+        assert timing.calls == 1
+        assert timing.seconds >= 0.0
+
+    def test_total_excludes_nested_stages(self):
+        perf = PerfRecorder()
+        perf.add("retime", 2.0)
+        perf.add("retime/lac", 1.5)  # a view into "retime", not extra time
+        assert perf.total_seconds == 2.0
+
+    def test_to_dict_preserves_order(self):
+        perf = PerfRecorder()
+        perf.add("b", 1.0)
+        perf.add("a", 1.0)
+        d = perf.to_dict()
+        assert [s["name"] for s in d["stages"]] == ["b", "a"]
+        assert d["total_seconds"] == 2.0
+
+    def test_ingest_outcome_collects_planner_stages(self):
+        from repro.core.planner import plan_interconnect
+        from repro.netlist import s27_graph
+
+        perf = PerfRecorder()
+        plan_interconnect(
+            s27_graph(),
+            seed=1,
+            whitespace=0.4,
+            max_iterations=1,
+            floorplan_iterations=60,
+            perf=perf,
+        )
+        names = {t.name for t in perf.stages}
+        # ledger stages (iteration stages carry their scope) plus the
+        # retiming sub-timings
+        assert {"partition", "floorplan"} <= names
+        assert any(n.endswith("tiles") for n in names)
+        assert any(n.endswith("route") for n in names)
+        assert "retime/lac" in names
+        assert perf.total_seconds > 0.0
+
+
+class TestBenchNumbering:
+    def test_next_path_starts_at_zero(self, tmp_path):
+        assert next_bench_path(tmp_path).name == "BENCH_0.json"
+
+    def test_next_path_skips_taken_integers(self, tmp_path):
+        (tmp_path / "BENCH_0.json").write_text("{}")
+        (tmp_path / "BENCH_2.json").write_text("{}")
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+
+    def test_write_bench_round_trips(self, tmp_path):
+        path = write_bench({"schema": BENCH_SCHEMA}, tmp_path)
+        assert path.name == "BENCH_0.json"
+        assert json.loads(path.read_text())["schema"] == BENCH_SCHEMA
+        assert write_bench({}, tmp_path).name == "BENCH_1.json"
+
+
+class TestBenchRunner:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return run_bench(names=["s298"], quick=True)
+
+    def test_document_schema(self, doc):
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["mode"] == "warm"
+        assert doc["quick"] is True
+        assert len(doc["circuits"]) == 1
+        totals = doc["totals"]
+        assert totals["wall_seconds"] > 0.0
+        assert totals["n_wr"] >= 1
+
+    def test_circuit_entry_fields(self, doc):
+        entry = doc["circuits"][0]
+        assert entry["name"] == "s298"
+        assert entry["ok"] is True
+        assert entry["n_wr"] >= 1
+        assert len(entry["lac_round_seconds"]) == entry["n_wr"]
+        assert entry["solver"]["engine"] in ("highs", "ssp")
+        assert entry["solver"]["bellman_ford_runs"] == 1
+        stage_names = {s["name"] for s in entry["stages"]}
+        assert "retime/lac" in stage_names
+
+    def test_cold_mode_skips_solver_stats(self):
+        entry = bench_circuit(get_circuit("s298"), quick=True, cold=True)
+        assert entry["ok"] is True
+        assert entry["solver"] is None
+        assert entry["n_wr"] >= 1
+
+    def test_entries_are_json_serialisable(self, doc):
+        json.dumps(doc)
