@@ -50,7 +50,7 @@ from repro.resilience.runner import StageRunner, perturbed_seed
 from repro.retime.constraints import build_constraint_system
 from repro.retime.expand import ExpandedCircuit, expand_interconnects
 from repro.retime.minarea import RetimingResult, min_area_retiming
-from repro.retime.minperiod import clock_period, min_period_retiming
+from repro.retime.minperiod import PROBERS, clock_period, min_period_retiming
 from repro.retime.wd import WDMatrices, wd_matrices
 from repro.route.router import GlobalRouter, nets_from_graph
 from repro.tech.params import DEFAULT_TECH, Technology
@@ -85,6 +85,7 @@ class PlannerConfig:
     resilience: Optional[ResilienceConfig] = None  # None -> defaults
     lac_incremental: bool = True  # warm-started LAC solver (False = cold)
     lac_solver_engine: str = "auto"  # "auto" | "highs" | "ssp"
+    min_period_prober: str = "auto"  # "auto" | "feas" | "bellman-ford"
 
 
 def validate_planner_config(config: PlannerConfig) -> None:
@@ -133,6 +134,11 @@ def validate_planner_config(config: PlannerConfig) -> None:
             "PlannerConfig.lac_solver_engine must be 'auto', 'highs' or "
             f"'ssp', got {config.lac_solver_engine!r}"
         )
+    if config.min_period_prober not in PROBERS:
+        raise PlanningError(
+            "PlannerConfig.min_period_prober must be one of "
+            f"{', '.join(PROBERS)}, got {config.min_period_prober!r}"
+        )
 
 
 @dataclasses.dataclass
@@ -166,6 +172,7 @@ class PlanningIteration:
     min_area: Optional[TimedRetiming]
     lac: Optional[LACResult]
     lac_seconds: float
+    constraints_seconds: float = 0.0
     infeasible: bool = False
     degraded: bool = False
     t_clk_requested: Optional[float] = None
@@ -262,6 +269,7 @@ class _RetimeOutcome:
     lac: Optional[LACResult]
     lac_seconds: float
     t_clk: float
+    constraints_seconds: float = 0.0
     infeasible: bool = False
     degraded: bool = False
 
@@ -346,9 +354,16 @@ def _run_iteration_stages(
         ),
     )
 
-    wd = wd_matrices(expanded.graph)
-    t_init = clock_period(expanded.graph, wd)
-    t_min, _ = min_period_retiming(expanded.graph, wd)
+    wd = runner.run("wd", lambda _a: wd_matrices(expanded.graph))
+    t_init = runner.run(
+        "clock_period", lambda _a: clock_period(expanded.graph, wd)
+    )
+    t_min, _ = runner.run(
+        "min_period",
+        lambda _a: min_period_retiming(
+            expanded.graph, wd, prober=config.min_period_prober
+        ),
+    )
     requested = t_clk
     if t_clk is None:
         t_clk = t_min + config.target_fraction * (t_init - t_min)
@@ -357,9 +372,11 @@ def _run_iteration_stages(
         # One constraint system serves both retimings: they target the
         # same period, and constraint generation dominates run time
         # (the property the paper leans on in Section 4.2).
+        start = time.perf_counter()
         system = build_constraint_system(
             expanded.graph, wd, period, prune=prune
         )
+        constraints_seconds = time.perf_counter() - start
         min_area_timed: Optional[TimedRetiming] = None
         if config.run_baseline:
             start = time.perf_counter()
@@ -388,12 +405,12 @@ def _run_iteration_stages(
             solver_engine=config.lac_solver_engine,
         )
         lac_seconds = time.perf_counter() - start
-        return min_area_timed, lac_result, lac_seconds
+        return min_area_timed, lac_result, lac_seconds, constraints_seconds
 
     def _retime(_attempt: int, prune: bool) -> _RetimeOutcome:
         try:
-            ma, lac, lac_s = _retime_at(t_clk, prune)
-            return _RetimeOutcome(ma, lac, lac_s, t_clk)
+            ma, lac, lac_s, cons_s = _retime_at(t_clk, prune)
+            return _RetimeOutcome(ma, lac, lac_s, t_clk, cons_s)
         except InfeasiblePeriodError:
             if not runner.config.degrade_t_clk:
                 return _RetimeOutcome(None, None, 0.0, t_clk, infeasible=True)
@@ -408,8 +425,8 @@ def _run_iteration_stages(
                 f"retime: T_clk={t_clk:.3f} infeasible; degraded to "
                 f"{relaxed:.3f} (T_init={t_init:.3f})"
             )
-            ma, lac, lac_s = _retime_at(relaxed, prune)
-            return _RetimeOutcome(ma, lac, lac_s, relaxed, degraded=True)
+            ma, lac, lac_s, cons_s = _retime_at(relaxed, prune)
+            return _RetimeOutcome(ma, lac, lac_s, relaxed, cons_s, degraded=True)
 
     # Constraint pruning, if it ever produces an unsolvable reduced
     # system, falls back to the unpruned (sound but slower) system.
@@ -434,6 +451,7 @@ def _run_iteration_stages(
         min_area=retimed.min_area,
         lac=retimed.lac,
         lac_seconds=retimed.lac_seconds,
+        constraints_seconds=retimed.constraints_seconds,
         infeasible=retimed.infeasible,
         degraded=retimed.degraded,
         t_clk_requested=(

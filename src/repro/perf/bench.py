@@ -1,9 +1,9 @@
 """The ``repro bench`` runner: planner timings as ``BENCH_<n>.json``.
 
-Each run produces one JSON document (schema ``repro-bench/1``)::
+Each run produces one JSON document (schema ``repro-bench/2``)::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
       "mode": "warm" | "cold",        # incremental LAC solver on/off
       "engine": "auto" | "highs" | "ssp",
       "quick": bool,
@@ -16,11 +16,20 @@ Each run produces one JSON document (schema ``repro-bench/1``)::
           "lac_round_seconds": [...], # per weighted-min-area round
           "solver": {...},            # IncrementalStats (null on cold path)
           "stages": [{"name", "seconds", "calls"}, ...],
+          "stage_coverage": ...,      # recorded top-level stage s / wall s
           "wall_seconds": ...
         }, ...
       ],
       "totals": {"wall_seconds", "lac_seconds", "ma_seconds", "n_wr"}
     }
+
+Schema ``/2`` additions over ``/1``: circuit construction is recorded
+as a ``build`` stage, the planner records ``wd``, ``clock_period``,
+``min_period`` and ``retime/constraints`` as first-class stages, and
+every entry carries ``stage_coverage`` — the fraction of its wall
+clock accounted for by recorded top-level stages. A coverage floor can
+be enforced with ``--min-stage-coverage`` (CI uses it to catch new
+unrecorded bottlenecks).
 
 Files are numbered ``BENCH_0.json``, ``BENCH_1.json``, ... — the next
 free integer in the output directory — so successive runs (e.g. a cold
@@ -50,7 +59,7 @@ from repro.experiments.circuits import (
 )
 from repro.perf.recorder import PerfRecorder
 
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
 
 #: Planner overrides for ``--quick`` (CI smoke): a short floorplan
 #: anneal and a single planning iteration.
@@ -72,8 +81,10 @@ def bench_circuit(
         overrides.update(QUICK_OVERRIDES)
     start = time.perf_counter()
     try:
+        with perf.stage("build"):
+            graph = spec.build()
         outcome = plan_interconnect(
-            spec.build(),
+            graph,
             seed=spec.seed,
             max_iterations=1 if quick else 2,
             whitespace=spec.whitespace,
@@ -110,6 +121,7 @@ def bench_circuit(
         ),
         "solver": lac.solver_stats if lac is not None else None,
         "stages": perf.to_dict()["stages"],
+        "stage_coverage": round(perf.total_seconds / wall, 4) if wall else 1.0,
         "wall_seconds": round(wall, 6),
     }
 
@@ -134,7 +146,8 @@ def run_bench(
             if entry["ok"]:
                 print(
                     f"{spec.name:>8}: lac={entry['lac_seconds']:.3f}s "
-                    f"n_wr={entry['n_wr']} wall={entry['wall_seconds']:.3f}s"
+                    f"n_wr={entry['n_wr']} wall={entry['wall_seconds']:.3f}s "
+                    f"coverage={entry['stage_coverage']:.0%}"
                 )
             else:
                 print(f"{spec.name:>8}: FAILED ({entry['error']})")
@@ -210,6 +223,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="benchmarks/results",
         help="output directory for BENCH_<n>.json",
     )
+    parser.add_argument(
+        "--min-stage-coverage",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail (exit 1) if any circuit's recorded stages account for "
+        "less than this fraction of its wall clock",
+    )
     args = parser.parse_args(argv)
     doc = run_bench(
         names=args.names,
@@ -224,6 +245,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"wrote {path} (mode={doc['mode']}, "
         f"lac={totals['lac_seconds']:.3f}s, wall={totals['wall_seconds']:.3f}s)"
     )
+    if args.min_stage_coverage is not None:
+        low = [
+            (e["name"], e["stage_coverage"])
+            for e in doc["circuits"]
+            if e["ok"] and e["stage_coverage"] < args.min_stage_coverage
+        ]
+        if low:
+            for name, cov in low:
+                print(
+                    f"stage coverage for {name} is {cov:.0%}, below the "
+                    f"--min-stage-coverage floor of "
+                    f"{args.min_stage_coverage:.0%}"
+                )
+            return 1
     return 0
 
 

@@ -65,6 +65,8 @@ class PerfRecorder:
         """
         self.ingest_ledger(outcome.ledger)
         for it in outcome.iterations:
+            if it.constraints_seconds:
+                self.add("retime/constraints", it.constraints_seconds)
             if it.min_area is not None:
                 self.add("retime/min_area", it.min_area.seconds)
             if it.lac is not None:

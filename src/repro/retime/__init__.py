@@ -11,6 +11,7 @@ from repro.retime.constraints import (
     prune_redundant,
 )
 from repro.retime.feas import arrival_times, feas_labels
+from repro.retime.feas_probe import FeasProbe, FeasUndecidedError
 from repro.retime.flow import feasible_labels, optimal_labels
 from repro.retime.incremental import IncrementalMinArea, IncrementalStats
 from repro.retime.minarea import (
@@ -20,6 +21,7 @@ from repro.retime.minarea import (
     retiming_objective,
 )
 from repro.retime.minperiod import (
+    PROBERS,
     clock_period,
     is_feasible_period,
     min_period_retiming,
@@ -47,6 +49,8 @@ __all__ = [
     "feasible_labels",
     "feas_labels",
     "arrival_times",
+    "FeasProbe",
+    "FeasUndecidedError",
     "optimal_labels",
     "IncrementalMinArea",
     "IncrementalStats",
@@ -56,6 +60,7 @@ __all__ = [
     "min_area_retiming_shared",
     "shared_register_count",
     "normalise_labels",
+    "PROBERS",
     "clock_period",
     "is_feasible_period",
     "min_period_retiming",

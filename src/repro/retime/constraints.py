@@ -36,6 +36,9 @@ from repro.errors import InfeasiblePeriodError, RetimingError
 from repro.netlist.graph import CircuitGraph
 from repro.retime.wd import WDMatrices
 
+#: Memory budget for one pruning chunk: pairs-per-chunk * n cells.
+_PRUNE_CHUNK_CELLS = 8_000_000
+
 
 @dataclasses.dataclass(frozen=True)
 class Constraint:
@@ -128,25 +131,34 @@ def prune_redundant(
     exceeding = np.isfinite(d) & (d > period)
     np.fill_diagonal(exceeding, False)
 
-    kept: List[Tuple[int, int]] = []
-    by_source: Dict[int, List[int]] = {}
-    for i, j in pairs:
-        by_source.setdefault(i, []).append(j)
-    for i, targets in by_source.items():
-        targets_arr = np.array(targets)
-        # on_path[x, jt] — x lies on a min-weight path i -> targets[jt].
-        with np.errstate(invalid="ignore"):
-            on_path = w[i, :, np.newaxis] + w[:, targets_arr] == w[i, targets_arr]
-        on_path[i, :] = False
-        on_path[targets_arr, np.arange(len(targets_arr))] = False
-        # witness: a clocking pair (i, x) or (x, target) at vertex x.
-        prefix_witness = exceeding[i, :, np.newaxis] & on_path
-        suffix_witness = exceeding[:, targets_arr] & on_path
-        redundant = (prefix_witness | suffix_witness).any(axis=0)
-        for jt, j in enumerate(targets):
-            if not redundant[jt]:
-                kept.append((i, j))
-    return kept
+    src = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+    dst = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+    # Register counts are small integers; fold inf ("no path") into a
+    # sentinel so the on-path test runs in int32. sentinel + anything
+    # can never equal a finite W(i, j) < sentinel, so unreachable
+    # midpoints drop out of the comparison exactly as inf did.
+    finite = np.isfinite(w)
+    w32 = np.full(w.shape, np.int32(1) << 30, dtype=np.int32)
+    w32[finite] = w[finite].astype(np.int32)
+    wt = np.ascontiguousarray(w32.T)
+    et = np.ascontiguousarray(exceeding.T)
+    keep = np.empty(len(pairs), dtype=bool)
+    # One broadcast pass over all pairs, chunked so the (pairs x n)
+    # intermediates stay within a fixed memory budget.
+    chunk = max(1, _PRUNE_CHUNK_CELLS // max(n, 1))
+    for s in range(0, len(pairs), chunk):
+        i = src[s : s + chunk]
+        j = dst[s : s + chunk]
+        rows = np.arange(len(i))
+        # witness: a clocking pair (i, x) or (x, j) at vertex x; the
+        # endpoints themselves never count as witnesses.
+        witness = exceeding[i, :] | et[j, :]
+        witness[rows, i] = False
+        witness[rows, j] = False
+        # on_path[p, x] — x lies on a min-weight path of pairs[p].
+        on_path = w32[i, :] + wt[j, :] == w32[i, j][:, np.newaxis]
+        keep[s : s + chunk] = ~(on_path & witness).any(axis=1)
+    return [p for p, k in zip(pairs, keep) if k]
 
 
 def build_constraint_system(

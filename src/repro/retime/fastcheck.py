@@ -34,13 +34,23 @@ from repro.retime.wd import WDMatrices
 
 @dataclasses.dataclass
 class FeasibilityChecker:
-    """Reusable per-graph state for fast period-feasibility probes."""
+    """Reusable per-graph state for fast period-feasibility probes.
+
+    Everything that does not depend on the probed period is computed
+    once in :meth:`build`: the static constraint arcs, the virtual
+    source arcs of the Bellman–Ford instance, and the maximum single
+    vertex delay (the immediate-reject bound).
+    """
 
     wd: WDMatrices
     static_u: np.ndarray  # constraint r(u) - r(v) <= b ...
     static_v: np.ndarray
     static_b: np.ndarray
     n: int
+    max_delay: float
+    src_rows: np.ndarray  # virtual-source arcs, shared by every probe
+    src_cols: np.ndarray
+    src_data: np.ndarray
 
     @classmethod
     def build(cls, graph: CircuitGraph, wd: WDMatrices) -> "FeasibilityChecker":
@@ -64,7 +74,18 @@ class FeasibilityChecker:
         b_arr = np.array(
             list(best.values()) + [e[2] for e in extra], dtype=np.int64
         )
-        return cls(wd=wd, static_u=u_arr, static_v=v_arr, static_b=b_arr, n=len(index))
+        n = len(index)
+        return cls(
+            wd=wd,
+            static_u=u_arr,
+            static_v=v_arr,
+            static_b=b_arr,
+            n=n,
+            max_delay=wd.max_vertex_delay(),
+            src_rows=np.zeros(n, dtype=np.int64),
+            src_cols=np.arange(1, n + 1, dtype=np.int64),
+            src_data=np.zeros(n, dtype=np.float64),
+        )
 
     # ------------------------------------------------------------------
     def _probe_arrays(
@@ -89,7 +110,7 @@ class FeasibilityChecker:
         zero-weight arcs to every vertex makes distances a solution,
         and a negative cycle means infeasible.
         """
-        if self.wd.max_vertex_delay() > period:
+        if self.max_delay > period:
             return None
         u, v, b = self._probe_arrays(period)
         # Deduplicate arcs keeping the tightest bound (csr construction
@@ -103,14 +124,12 @@ class FeasibilityChecker:
         rows = v[sel] + 1  # shift by one: row 0 is the virtual source
         cols = u[sel] + 1
         data = b[sel].astype(np.float64)
-        src_rows = np.zeros(self.n, dtype=np.int64)
-        src_cols = np.arange(1, self.n + 1, dtype=np.int64)
         matrix = csr_matrix(
             (
-                np.concatenate([data, np.zeros(self.n)]),
+                np.concatenate([data, self.src_data]),
                 (
-                    np.concatenate([rows, src_rows]),
-                    np.concatenate([cols, src_cols]),
+                    np.concatenate([rows, self.src_rows]),
+                    np.concatenate([cols, self.src_cols]),
                 ),
             ),
             shape=(self.n + 1, self.n + 1),
@@ -120,6 +139,64 @@ class FeasibilityChecker:
         except NegativeCycleError:
             return None
         return dist[1:].astype(np.int64)
+
+    def refine(
+        self, period: float, start: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Exact feasibility at ``period`` from a warm start.
+
+        ``start`` holds integer labels indexed like ``wd.order``; any
+        values are correct (relaxation converges to the greatest
+        solution pointwise ``<= start`` whenever one exists, and a
+        shifted copy of *any* solution fits below ``start``), but a
+        near-solution — e.g. a witness for a slightly larger period —
+        converges in a handful of rounds. Returns corrected labels, or
+        ``None`` when ``period`` is infeasible. The verdict is exact
+        and identical to :meth:`check`; only the cost differs.
+
+        Each round relaxes ``r(u) <- min(r(u), r(v) + b)`` over the
+        arcs leaving changed vertices, which reproduces full
+        Bellman–Ford rounds exactly (arcs out of unchanged vertices
+        cannot relax further). Hence convergence within ``n + 2``
+        rounds, and a round that still changes after that proves a
+        negative cycle, i.e. infeasibility. A second sound cutoff fires
+        earlier in practice: every bound is ``>= -1``, so feasible
+        labels never drop more than ``ptp(start) + n`` below start.
+        """
+        if self.max_delay > period:
+            return None
+        u, v, b = self._probe_arrays(period)
+        order = np.argsort(v, kind="stable")
+        u = u[order]
+        v = v[order]
+        b = b[order]
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(v, minlength=self.n), out=indptr[1:])
+        r = np.array(start, dtype=np.int64)
+        base = r.copy()
+        worst = int(np.ptp(r)) + self.n + 1 if self.n else 0
+        frontier = np.ones(self.n, dtype=bool)
+        for _ in range(self.n + 2):
+            src = np.nonzero(frontier)[0]
+            starts = indptr[src]
+            counts = indptr[src + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                return r
+            shift = np.cumsum(counts) - counts
+            eidx = np.repeat(starts - shift, counts) + np.arange(total)
+            au = u[eidx]
+            cand = r[v[eidx]] + b[eidx]
+            viol = cand < r[au]
+            if not viol.any():
+                return r
+            au = au[viol]
+            np.minimum.at(r, au, cand[viol])
+            frontier[:] = False
+            frontier[au] = True
+            if int((base - r).max()) > worst:
+                return None
+        return None
 
     def labels(self, period: float) -> Optional[Dict[str, int]]:
         """Like :meth:`check` but mapped back to unit names.

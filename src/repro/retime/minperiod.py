@@ -3,11 +3,38 @@
 A classic Leiserson–Saxe result: the minimum achievable clock period is
 always one of the finitely many distinct ``D(u, v)`` values, and a
 period ``T`` is achievable iff the edge + clocking difference
-constraints for ``T`` are satisfiable. Feasibility probes run on the
-vectorised Bellman–Ford checker (:mod:`repro.retime.fastcheck`); the
-constraint-object route (:func:`is_feasible_period` with
-``use_fast=False``) is kept as the auditable reference and is
-cross-checked by the test suite.
+constraints for ``T`` are satisfiable. Feasibility probes run, by
+default, on the sparse vectorised FEAS engine
+(:mod:`repro.retime.feas_probe`); the search exploits three facts:
+
+* candidates below the maximum single-vertex delay are infeasible and
+  candidates at or above the initial clock period are feasible with the
+  identity retiming, so the search is clamped to that window for free;
+* a feasible witness at one period is a legal warm start for every
+  probe at a smaller period, so feasible probes converge in a handful
+  of FEAS rounds;
+* infeasible probes are the expensive case for FEAS (the sound
+  certificate needs up to ``|V|`` rounds), so the binary search runs
+  *budgeted* probes — "not verified within the budget" is treated as
+  tentatively infeasible — and afterwards certifies the single
+  boundary candidate below the best verified period with one sound
+  probe. Feasibility is monotone in the period, so that one
+  certificate pins down the exact minimum; if it instead uncovers a
+  feasible period the search resumes below it with a larger budget
+  (each resume strictly lowers the best index, so this terminates).
+
+The dense Bellman–Ford checker (:mod:`repro.retime.fastcheck`) remains
+available behind ``prober="bellman-ford"`` as the cross-checked
+reference; the constraint-object route (:func:`is_feasible_period`
+with ``use_fast=False``) is kept as the auditable slow path.
+
+The search runs over *merged* candidates (:func:`candidate_periods`
+collapses float-noise runs of ``D`` values), so every search finishes
+with an exact-tie refinement: a warm-started bisection over the few
+exact ``D`` values inside the winning run, decided by the exact
+checker (:meth:`FeasibilityChecker.refine`). ``T_min`` is therefore
+the minimum over the *exact* candidate set and does not depend on the
+prober choice.
 
 The paper uses min-period retiming to establish ``T_min``, then sets
 ``T_clk`` 20% of the way from ``T_min`` up to ``T_init``.
@@ -15,6 +42,7 @@ The paper uses min-period retiming to establish ``T_min``, then sets
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -23,9 +51,17 @@ from repro.errors import InfeasiblePeriodError, RetimingError
 from repro.netlist.graph import CircuitGraph
 from repro.retime.constraints import build_constraint_system
 from repro.retime.fastcheck import FeasibilityChecker
+from repro.retime.feas_probe import FeasProbe
 from repro.retime.flow import feasible_labels
 from repro.retime.minarea import RetimingResult, normalise_labels
 from repro.retime.wd import WDMatrices, candidate_periods, wd_matrices
+
+#: Legal values for the ``prober`` switch of :func:`min_period_retiming`.
+PROBERS = ("auto", "feas", "bellman-ford")
+
+#: Initial FEAS round budget for tentative probes inside the binary
+#: search (quadrupled on every boundary-certification miss).
+_INITIAL_BUDGET = 64
 
 
 def clock_period(graph: CircuitGraph, wd: Optional[WDMatrices] = None) -> float:
@@ -67,21 +103,87 @@ def is_feasible_period(
     return normalise_labels(graph, labels)
 
 
-def min_period_retiming(
+#: Result of one candidate search: the best (merged) candidate, its
+#: witness labels, the largest candidate certified infeasible (``None``
+#: if the search never moved above the first candidate), and the dense
+#: checker if the search happened to build one.
+_SearchResult = Tuple[
+    float, Dict[str, int], Optional[float], Optional[FeasibilityChecker]
+]
+
+
+def _feas_search(
+    engine: FeasProbe,
     graph: CircuitGraph,
-    wd: Optional[WDMatrices] = None,
-) -> Tuple[float, RetimingResult]:
-    """Find the minimum feasible period and a retiming achieving it.
+    wd: WDMatrices,
+    candidates,
+    allow_fallback: bool,
+) -> _SearchResult:
+    """Clamped, warm-started, budgeted binary search (see module doc).
 
-    Returns ``(T_min, result)``; binary-searches the sorted distinct
-    ``D`` values with the vectorised feasibility checker.
+    ``allow_fallback`` routes the (rare — usually one per search)
+    boundary certification through the Bellman–Ford checker: FEAS's
+    infeasibility certificate needs up to ``|V|`` increments of one
+    vertex and increments interleave, so certifying a near-feasible
+    period can take several thousand rounds where one dense check is
+    cheaper. Without fallback (``prober="feas"``) the certification is
+    the sound FEAS probe itself.
     """
-    if wd is None:
-        wd = wd_matrices(graph)
-    candidates = candidate_periods(wd)
-    if not candidates:
-        raise RetimingError("graph has no paths; period undefined")
+    checker: Optional[FeasibilityChecker] = None
 
+    def sound_probe(
+        idx: int, start: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        nonlocal checker
+        if not allow_fallback:
+            return engine.probe(candidates[idx], start=start)
+        if checker is None:
+            checker = FeasibilityChecker.build(graph, wd)
+        labels = checker.labels(candidates[idx])
+        if labels is None:
+            return None
+        return np.array([labels[v] for v in engine.order], dtype=np.int64)
+
+    # Clamp the window: below the max vertex delay nothing is feasible;
+    # at the first candidate >= the current clock period the identity
+    # retiming (all-zero labels) is a free witness.
+    floor = bisect.bisect_left(candidates, engine.max_delay)
+    hi = bisect.bisect_left(candidates, clock_period(graph, wd))
+    best_idx = min(hi, len(candidates) - 1)
+    best_raw = np.zeros(engine.n, dtype=np.int64)
+
+    budget = _INITIAL_BUDGET
+    while True:
+        lo, cur_hi = floor, best_idx
+        while lo < cur_hi:
+            mid = (lo + cur_hi) // 2
+            verified, raw = engine.probe_budget(
+                candidates[mid], best_raw, budget
+            )
+            if verified:
+                best_idx, best_raw = mid, raw
+                cur_hi = mid
+            else:
+                lo = mid + 1
+        if best_idx == floor:
+            # Candidates below the floor are < max vertex delay:
+            # infeasible with certainty, nothing left to certify.
+            break
+        raw = sound_probe(best_idx - 1, best_raw)
+        if raw is None:
+            # Sound infeasibility one step below the best verified
+            # period: monotonicity makes the best period the minimum.
+            break
+        best_idx, best_raw = best_idx - 1, raw
+        budget *= 4
+    lower = candidates[best_idx - 1] if best_idx > 0 else None
+    return candidates[best_idx], engine.label_dict(best_raw), lower, checker
+
+
+def _bellman_ford_search(
+    graph: CircuitGraph, wd: WDMatrices, candidates
+) -> _SearchResult:
+    """Binary search with the dense Bellman–Ford reference checker."""
     checker = FeasibilityChecker.build(graph, wd)
     lo, hi = 0, len(candidates) - 1
     if (labels := checker.labels(candidates[hi])) is None:
@@ -97,7 +199,113 @@ def min_period_retiming(
             hi = mid
         else:
             lo = mid + 1
-    period, labels = best
+    lower = candidates[lo - 1] if lo > 0 else None
+    return best[0], best[1], lower, checker
+
+
+def _refine_exact(
+    graph: CircuitGraph,
+    wd: WDMatrices,
+    period: float,
+    labels: Dict[str, int],
+    lower: Optional[float],
+    checker: Optional[FeasibilityChecker],
+) -> Tuple[float, Dict[str, int]]:
+    """Tighten a merged-candidate winner to the exact minimum.
+
+    :func:`candidate_periods` merges runs of near-equal ``D`` values to
+    the run's largest member, so the searched winner can sit up to the
+    merge tolerance above the true minimum over *exact* candidates.
+    Everything at or below ``lower`` is certified infeasible and the
+    run's members are within the FEAS epsilon of each other, so the tie
+    is broken with the exact warm-started checker
+    (:meth:`FeasibilityChecker.refine`): a bisection over the handful
+    of exact values between ``lower`` and ``period``.
+    """
+    exact = candidate_periods(wd, tol=0.0)
+    lo = bisect.bisect_right(exact, lower) if lower is not None else 0
+    hi = bisect.bisect_left(exact, period)
+    max_delay = wd.max_vertex_delay()
+    domain = [t for t in exact[lo:hi] if t >= max_delay]
+    if not domain:
+        return period, labels
+    domain.append(period)
+    if checker is None:
+        checker = FeasibilityChecker.build(graph, wd)
+    start = np.array(
+        [labels.get(v, 0) for v in wd.order], dtype=np.int64
+    )
+    best: Optional[Tuple[float, np.ndarray]] = None
+    lo_i, hi_i = 0, len(domain)
+    while lo_i < hi_i:
+        mid = (lo_i + hi_i) // 2
+        raw = checker.refine(domain[mid], start)
+        if raw is not None:
+            best = (domain[mid], raw)
+            start = raw
+            hi_i = mid
+        else:
+            lo_i = mid + 1
+    if best is None:
+        # Even the searched winner fails the exact check — possible
+        # only at a knife edge where the FEAS epsilon absorbed a real
+        # sub-tolerance violation. Walk up to the first exact winner.
+        for t in exact[bisect.bisect_right(exact, period):]:
+            raw = checker.refine(t, start)
+            if raw is not None:
+                best = (t, raw)
+                break
+        if best is None:  # pragma: no cover - T_init is always feasible
+            raise RetimingError("no feasible candidate period")
+    t, raw = best
+    return t, {v: int(raw[i]) for v, i in wd.index.items()}
+
+
+def min_period_retiming(
+    graph: CircuitGraph,
+    wd: Optional[WDMatrices] = None,
+    prober: str = "auto",
+) -> Tuple[float, RetimingResult]:
+    """Find the minimum feasible period and a retiming achieving it.
+
+    Returns ``(T_min, result)``; binary-searches the sorted distinct
+    ``D`` values. ``prober`` selects the feasibility engine:
+
+    * ``"auto"`` (default) — the sparse FEAS engine, with the dense
+      checker as a defensive fallback;
+    * ``"feas"`` — FEAS only, no fallback;
+    * ``"bellman-ford"`` — the dense reference checker throughout.
+
+    All probers decide feasibility exactly, so ``T_min`` is identical
+    for every choice (the witness retiming may differ).
+    """
+    if prober not in PROBERS:
+        raise RetimingError(
+            f"unknown prober {prober!r} (expected one of {', '.join(PROBERS)})"
+        )
+    if wd is None:
+        wd = wd_matrices(graph)
+    candidates = candidate_periods(wd)
+    if not candidates:
+        raise RetimingError("graph has no paths; period undefined")
+
+    engine: Optional[FeasProbe] = None
+    if prober in ("auto", "feas"):
+        try:
+            engine = FeasProbe.build(graph)
+        except RetimingError:
+            if prober == "feas":
+                raise
+    if engine is not None:
+        period, labels, lower, checker = _feas_search(
+            engine, graph, wd, candidates, allow_fallback=(prober == "auto")
+        )
+    else:
+        period, labels, lower, checker = _bellman_ford_search(
+            graph, wd, candidates
+        )
+    period, labels = _refine_exact(graph, wd, period, labels, lower, checker)
+
     labels = normalise_labels(graph, {v: labels.get(v, 0) for v in graph.units()})
     retimed = graph.retimed(labels)
     result = RetimingResult(

@@ -152,9 +152,29 @@ def wd_matrices_reference(graph: CircuitGraph) -> WDMatrices:
     return WDMatrices(order=order, index=index, w=w, d=d)
 
 
-def candidate_periods(wd: WDMatrices) -> List[float]:
+#: Default merge tolerance for :func:`candidate_periods`: D values are
+#: decoded from scalarised distances, so mathematically equal path
+#: delays can differ by float noise well below this.
+_CANDIDATE_TOL = 1e-9
+
+
+def candidate_periods(wd: WDMatrices, tol: float = _CANDIDATE_TOL) -> List[float]:
     """Sorted distinct finite D values — the binary-search domain for
     minimum-period retiming (the optimum period is always one of them).
+
+    Runs of values within ``tol`` of their neighbour are merged to the
+    run's *largest* member: feasibility is monotone in the period, so
+    keeping the maximum preserves the first-feasible candidate (up to
+    ``tol``) while dropping decode-noise near-duplicates. ``tol=0``
+    keeps every distinct float.
     """
-    finite = wd.d[np.isfinite(wd.d)]
-    return sorted(set(float(x) for x in finite))
+    mask = np.isfinite(wd.d)
+    if not mask.any():
+        return []
+    vals = np.unique(wd.d[mask])
+    if tol > 0 and vals.size > 1:
+        keep = np.empty(vals.size, dtype=bool)
+        keep[:-1] = np.diff(vals) > tol
+        keep[-1] = True
+        vals = vals[keep]
+    return [float(x) for x in vals]

@@ -118,3 +118,57 @@ class TestPruningSoundnessSweep:
         full = build_constraint_system(g, wd, period, prune=False)
         for c in full.constraints:
             assert labels.get(c.u, 0) - labels.get(c.v, 0) <= c.bound
+
+
+class TestPruneVectorisedAgainstReference:
+    """The broadcast prune must keep exactly the reference kept-set."""
+
+    @staticmethod
+    def _prune_reference(wd, period, pairs):
+        import numpy as np
+
+        w, d = wd.w, wd.d
+        exceeding = np.isfinite(d) & (d > period)
+        np.fill_diagonal(exceeding, False)
+        kept = []
+        for i, j in pairs:
+            with np.errstate(invalid="ignore"):
+                on_path = w[i, :] + w[:, j] == w[i, j]
+            on_path[i] = False
+            on_path[j] = False
+            witness = exceeding[i, :] | exceeding[:, j]
+            if not (on_path & witness).any():
+                kept.append((i, j))
+        return kept
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_kept_set_identical(self, seed):
+        from repro.retime import clock_period, prune_redundant
+
+        g = random_circuit("pv", n_units=30, n_ffs=16, seed=seed)
+        wd = wd_matrices(g)
+        period = 0.6 * clock_period(g, wd) + 0.4 * wd.max_vertex_delay()
+        pairs = wd.pairs_exceeding(period)
+        assert prune_redundant(wd, period, pairs) == self._prune_reference(
+            wd, period, pairs
+        )
+
+    def test_chunked_path_matches_unchunked(self, monkeypatch):
+        import repro.retime.constraints as constraints_mod
+        from repro.retime import clock_period
+
+        g = random_circuit("pv", n_units=30, n_ffs=16, seed=6)
+        wd = wd_matrices(g)
+        period = 0.5 * clock_period(g, wd) + 0.5 * wd.max_vertex_delay()
+        pairs = wd.pairs_exceeding(period)
+        whole = constraints_mod.prune_redundant(wd, period, pairs)
+        # Force many tiny chunks and require the identical kept-set.
+        monkeypatch.setattr(constraints_mod, "_PRUNE_CHUNK_CELLS", 64)
+        assert constraints_mod.prune_redundant(wd, period, pairs) == whole
+
+    def test_empty_pairs_passthrough(self):
+        from repro.retime import prune_redundant
+
+        g = random_circuit("pv", n_units=10, n_ffs=6, seed=7)
+        wd = wd_matrices(g)
+        assert prune_redundant(wd, 1e9, []) == []

@@ -7,6 +7,7 @@ conservative relative to the split-host model on open circuits — the
 tests encode exactly that contract.
 """
 
+import numpy as np
 import pytest
 
 from repro.netlist import CircuitGraph, random_circuit, s27_graph
@@ -114,10 +115,49 @@ class TestFastChecker:
 
         feasible = [
             t
-            for t in candidate_periods(wd)
+            for t in candidate_periods(wd, tol=0.0)
             if is_feasible_period(g, t, wd, use_fast=False) is not None
         ]
         assert t_min == min(feasible)
+
+
+class TestRefine:
+    """Warm-started exact probes agree with the from-scratch checker."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_check(self, seed):
+        g = random_circuit("rf", n_units=35, n_ffs=25, seed=seed)
+        wd = wd_matrices(g)
+        checker = FeasibilityChecker.build(g, wd)
+        t_init = clock_period(g, wd)
+        start = np.zeros(checker.n, dtype=np.int64)
+        for frac in [1.0, 0.85, 0.7, 0.55, 0.4]:
+            period = frac * t_init
+            cold = checker.check(period)
+            warm = checker.refine(period, start)
+            assert (cold is None) == (warm is None), f"period {period}"
+            if warm is not None:
+                as_dict = dict(zip(wd.order, (int(x) for x in warm)))
+                retimed = g.retimed(_normalised(g, as_dict))
+                assert clock_period(retimed) <= period + 1e-9
+                start = warm  # witness warms the next, tighter probe
+
+    def test_arbitrary_start_is_still_exact(self):
+        g = random_circuit("rf", n_units=30, n_ffs=20, seed=7)
+        wd = wd_matrices(g)
+        checker = FeasibilityChecker.build(g, wd)
+        t_init = clock_period(g, wd)
+        rng = np.random.default_rng(7)
+        for frac in [1.0, 0.7, 0.45]:
+            period = frac * t_init
+            start = rng.integers(-3, 4, size=checker.n).astype(np.int64)
+            cold = checker.check(period)
+            warm = checker.refine(period, start)
+            assert (cold is None) == (warm is None), f"period {period}"
+            if warm is not None:
+                as_dict = dict(zip(wd.order, (int(x) for x in warm)))
+                retimed = g.retimed(_normalised(g, as_dict))
+                assert clock_period(retimed) <= period + 1e-9
 
 
 def _normalised(graph, labels):

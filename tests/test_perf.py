@@ -68,6 +68,11 @@ class TestPerfRecorder:
         assert {"partition", "floorplan"} <= names
         assert any(n.endswith("tiles") for n in names)
         assert any(n.endswith("route") for n in names)
+        # the T_min pipeline is recorded stage by stage
+        assert any(n.endswith("wd") for n in names)
+        assert any(n.endswith("clock_period") for n in names)
+        assert any(n.endswith("min_period") for n in names)
+        assert "retime/constraints" in names
         assert "retime/lac" in names
         assert perf.total_seconds > 0.0
 
@@ -112,6 +117,15 @@ class TestBenchRunner:
         assert entry["solver"]["bellman_ford_runs"] == 1
         stage_names = {s["name"] for s in entry["stages"]}
         assert "retime/lac" in stage_names
+        assert "build" in stage_names
+        assert any(n.endswith("min_period") for n in stage_names)
+        assert "retime/constraints" in stage_names
+
+    def test_stage_coverage_recorded(self, doc):
+        entry = doc["circuits"][0]
+        assert 0.0 < entry["stage_coverage"] <= 1.5
+        # recorded stages should dominate the wall clock
+        assert entry["stage_coverage"] >= 0.8
 
     def test_cold_mode_skips_solver_stats(self):
         entry = bench_circuit(get_circuit("s298"), quick=True, cold=True)
@@ -121,3 +135,63 @@ class TestBenchRunner:
 
     def test_entries_are_json_serialisable(self, doc):
         json.dumps(doc)
+
+
+class TestStageCoverageFlag:
+    """The --min-stage-coverage CLI floor (bench logic is canned)."""
+
+    @staticmethod
+    def _canned(coverage):
+        return {
+            "schema": BENCH_SCHEMA,
+            "mode": "warm",
+            "engine": "auto",
+            "quick": True,
+            "circuits": [
+                {
+                    "name": "s298",
+                    "ok": True,
+                    "stage_coverage": coverage,
+                    "lac_seconds": 0.1,
+                    "n_wr": 1,
+                    "wall_seconds": 0.2,
+                }
+            ],
+            "totals": {
+                "wall_seconds": 0.2,
+                "lac_seconds": 0.1,
+                "ma_seconds": 0.0,
+                "n_wr": 1,
+            },
+        }
+
+    def test_floor_violation_fails(self, tmp_path, monkeypatch, capsys):
+        import repro.perf.bench as bench_mod
+
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda **kw: self._canned(0.5)
+        )
+        rc = bench_mod.main(
+            ["--out", str(tmp_path), "--min-stage-coverage", "0.8"]
+        )
+        assert rc == 1
+        assert "below" in capsys.readouterr().out
+
+    def test_floor_met_passes(self, tmp_path, monkeypatch):
+        import repro.perf.bench as bench_mod
+
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda **kw: self._canned(0.93)
+        )
+        rc = bench_mod.main(
+            ["--out", str(tmp_path), "--min-stage-coverage", "0.8"]
+        )
+        assert rc == 0
+
+    def test_no_floor_ignores_coverage(self, tmp_path, monkeypatch):
+        import repro.perf.bench as bench_mod
+
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda **kw: self._canned(0.01)
+        )
+        assert bench_mod.main(["--out", str(tmp_path)]) == 0

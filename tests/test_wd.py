@@ -123,3 +123,45 @@ class TestDegenerateGraphs:
         g.add_connection("a", "b", weight=1)
         wd = wd_matrices(g)
         assert wd.w[wd.index["a"], wd.index["b"]] == 1
+
+
+class TestCandidatePeriods:
+    @staticmethod
+    def _wd_with_d(values):
+        """A minimal WDMatrices whose finite D values are ``values``."""
+        from repro.retime import WDMatrices
+
+        n = len(values)
+        d = np.full((n, n), np.inf)
+        d[0, :] = np.array(values, dtype=np.float64)
+        return WDMatrices(order=[], index={}, w=np.zeros((n, n)), d=d)
+
+    def test_zero_tolerance_matches_exact_set(self):
+        for seed in range(4):
+            g = random_circuit("cp", n_units=25, n_ffs=14, seed=seed)
+            wd = wd_matrices(g)
+            exact = sorted({float(x) for x in wd.d[np.isfinite(wd.d)]})
+            assert candidate_periods(wd, tol=0.0) == exact
+
+    def test_merge_keeps_run_maximum(self):
+        wd = self._wd_with_d([1.0, 1.0 + 5e-10, 2.0])
+        # Feasibility is monotone in the period, so keeping the run's
+        # largest member preserves the first-feasible candidate.
+        assert candidate_periods(wd, tol=1e-9) == [1.0 + 5e-10, 2.0]
+
+    def test_merge_chains_across_adjacent_values(self):
+        vals = [1.0, 1.0 + 8e-10, 1.0 + 1.6e-9, 3.0]
+        wd = self._wd_with_d(vals)
+        # Each step is within tol of its neighbour: one run, keep max.
+        assert candidate_periods(wd, tol=1e-9) == [1.0 + 1.6e-9, 3.0]
+
+    def test_well_separated_values_untouched(self):
+        wd = self._wd_with_d([1.0, 2.0, 3.5])
+        assert candidate_periods(wd, tol=1e-9) == [1.0, 2.0, 3.5]
+
+    def test_no_finite_values(self):
+        from repro.retime import WDMatrices
+
+        d = np.full((2, 2), np.inf)
+        wd = WDMatrices(order=[], index={}, w=np.zeros((2, 2)), d=d)
+        assert candidate_periods(wd) == []
