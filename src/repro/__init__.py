@@ -15,6 +15,12 @@ Quickstart::
 
 __version__ = "1.0.0"
 
+import logging as _logging
+
+# Library convention: never configure handlers from library code; the
+# CLI (or the embedding application) decides where log records go.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.errors import (
     BenchParseError,
     FloorplanError,

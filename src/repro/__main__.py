@@ -10,12 +10,19 @@ Commands:
   ``BENCH_<n>.json`` (see :mod:`repro.perf.bench`);
 * ``verify``           — retime s27 at minimum period and verify
   behavioural equivalence by gate-level simulation;
-* ``circuits``         — list the benchmark suite.
+* ``circuits``         — list the benchmark suite;
+* ``trace``            — work with ``repro-trace/1`` files written by
+  ``plan --trace``: ``trace summarize`` renders the span tree, stage
+  table and convergence tables, ``trace validate`` checks the schema.
+
+``-v`` / ``-vv`` (before the command) turn on INFO / DEBUG logging on
+stderr; the library itself never configures logging handlers.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 
@@ -56,17 +63,29 @@ def _cmd_plan(args) -> int:
     if args.no_degrade:
         resilience.degrade_t_clk = False
 
+    overrides = {}
+    iterations = args.iterations
+    if args.quick:
+        overrides["floorplan_iterations"] = 300
+        iterations = 1
+
     try:
         outcome = plan_interconnect(
             graph,
             seed=seed,
             whitespace=whitespace,
-            max_iterations=args.iterations,
+            max_iterations=iterations,
             resilience=resilience,
+            trace_path=args.trace,
+            **overrides,
         )
     except ReproError as exc:
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
         print(f"error: planning {args.circuit} failed: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     print(outcome.report())
     if outcome.converged:
         return EXIT_OK
@@ -138,6 +157,23 @@ def _cmd_verify(_args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import TraceError, read_trace, validate_trace
+
+    try:
+        if args.trace_command == "validate":
+            count = validate_trace(args.file)
+            print(f"{args.file}: valid repro-trace/1, {count} spans")
+            return EXIT_OK
+        from repro.obs.summarize import summarize
+
+        print(summarize(read_trace(args.file)))
+        return EXIT_OK
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
 def _cmd_circuits(_args) -> int:
     from repro.experiments import TABLE1_CIRCUITS
 
@@ -155,11 +191,29 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Interconnect planning with LAC-retiming (Lu & Koh, DATE 2003)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress to stderr (-v INFO, -vv DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_plan = sub.add_parser("plan", help="plan one benchmark circuit")
     p_plan.add_argument("circuit", help="circuit name (s27 or a Table-1 name)")
     p_plan.add_argument("--iterations", type=int, default=2)
+    p_plan.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a repro-trace/1 JSONL of the run (see `trace summarize`)",
+    )
+    p_plan.add_argument(
+        "--quick",
+        action="store_true",
+        help="one planning iteration, short anneal (smoke/CI runs)",
+    )
     p_plan.add_argument(
         "--stage-timeout",
         type=float,
@@ -224,7 +278,25 @@ def main(argv=None) -> int:
     p_list = sub.add_parser("circuits", help="list the benchmark suite")
     p_list.set_defaults(func=_cmd_circuits)
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect repro-trace/1 files written by `plan --trace`"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    for name, doc in (
+        ("summarize", "render span tree, stage table and convergence tables"),
+        ("validate", "check the file against the repro-trace/1 schema"),
+    ):
+        p = trace_sub.add_parser(name, help=doc)
+        p.add_argument("file", help="trace file (JSONL)")
+        p.set_defaults(func=_cmd_trace)
+
     args = parser.parse_args(argv)
+    if args.verbose:
+        logging.basicConfig(
+            stream=sys.stderr,
+            level=logging.DEBUG if args.verbose > 1 else logging.INFO,
+            format="%(levelname).1s %(name)s: %(message)s",
+        )
     return args.func(args)
 
 

@@ -26,11 +26,13 @@ weighted min-area solves — both reported in Table 1.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.metrics import AreaAccountant, AreaReport, area_report
 from repro.netlist.graph import CircuitGraph
+from repro.obs import NOOP_TRACER
 from repro.retime.constraints import build_constraint_system
 from repro.retime.expand import IO_REGION
 from repro.retime.incremental import IncrementalMinArea
@@ -38,6 +40,8 @@ from repro.retime.minarea import RetimingResult, min_area_retiming
 from repro.retime.wd import WDMatrices, wd_matrices
 from repro.tech.params import DEFAULT_TECH, Technology
 from repro.tiles.grid import TileGrid
+
+log = logging.getLogger(__name__)
 
 #: Clamp for tile weights, keeping the integer scaling well conditioned.
 WEIGHT_MIN = 1e-3
@@ -75,6 +79,7 @@ def lac_retiming(
     system=None,
     incremental: bool = True,
     solver_engine: str = "auto",
+    tracer=None,
 ) -> LACResult:
     """Run the paper's LAC-retiming heuristic.
 
@@ -103,11 +108,17 @@ def lac_retiming(
             for benchmarking and as a reference implementation.
         solver_engine: Engine for the incremental solver (``"auto"``,
             ``"highs"``, or ``"ssp"``); ignored on the cold path.
+        tracer: Optional :class:`repro.obs.Tracer`; each weighted
+            min-area round becomes a ``lac/round`` span carrying the
+            round's ``N_FOA``/``N_F``, weighted-FF objective, per-tile
+            violations and weight spread.
 
     Raises:
         InfeasiblePeriodError: ``period`` is unachievable (from the
             underlying weighted min-area retiming).
     """
+    if tracer is None:
+        tracer = NOOP_TRACER
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
     if max_rounds < 1:
@@ -146,17 +157,42 @@ def lac_retiming(
             u: tile_weight.get(region, 1.0) for u, region in unit_region.items()
         }
         round_start = time.perf_counter()
-        if incremental:
-            candidate: Candidate = solver.solve(unit_weights)
-            report = accountant.report(candidate, grid, tech)
-        else:
-            candidate = min_area_retiming(
-                graph, period, weights=unit_weights, system=system
-            )
-            report = area_report(candidate.graph, unit_region, grid, tech)
+        with tracer.span("lac/round", round=_round + 1) as span:
+            if incremental:
+                candidate: Candidate = solver.solve(unit_weights)
+                report = accountant.report(candidate, grid, tech)
+            else:
+                candidate = min_area_retiming(
+                    graph, period, weights=unit_weights, system=system
+                )
+                report = area_report(candidate.graph, unit_region, grid, tech)
+            if tracer.enabled:
+                # Weighted-FF objective of the round: what the weighted
+                # min-area solve actually minimised, in tile-weight
+                # units — the convergence quantity of Section 4.2.
+                objective = sum(
+                    count * tile_weight.get(region, 1.0)
+                    for region, count in report.ff_count.items()
+                )
+                span.set(
+                    n_foa=report.n_foa,
+                    n_f=report.n_f,
+                    objective=objective,
+                    violations=dict(report.violations),
+                    weight_max=max(tile_weight.values(), default=1.0),
+                    engine=solver.stats.engine if solver is not None else "cold",
+                    warm_start=incremental and _round > 0,
+                )
         round_seconds.append(time.perf_counter() - round_start)
         n_wr += 1
         history.append((report.n_foa, report.n_f))
+        log.debug(
+            "LAC round %d: N_FOA=%d N_F=%d (%d violating tiles)",
+            _round + 1,
+            report.n_foa,
+            report.n_f,
+            len(report.violating_regions()),
+        )
 
         key = (report.n_foa, report.n_f)
         if best is None or key < (best[0], best[1]):

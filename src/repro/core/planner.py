@@ -32,6 +32,7 @@ abandoned. The full attempt history lands in the outcome's
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 from typing import List, Optional, Tuple
 
@@ -40,6 +41,8 @@ from repro.core.metrics import AreaReport, area_report
 from repro.errors import InfeasiblePeriodError, PlanningError
 from repro.floorplan.plan import Floorplan, build_floorplan, expand_floorplan
 from repro.netlist.graph import CircuitGraph
+from repro.obs import NOOP_TRACER, Tracer
+from repro.obs.export import write_trace
 from repro.partition.multiway import Partition, default_block_count, partition_graph
 from repro.repeater.insertion import buffer_routed_nets
 from repro.resilience.degrade import find_relaxed_period
@@ -55,6 +58,8 @@ from repro.retime.wd import WDMatrices, wd_matrices
 from repro.route.router import GlobalRouter, nets_from_graph
 from repro.tech.params import DEFAULT_TECH, Technology
 from repro.tiles.grid import SOFT, TileGrid, build_tile_grid
+
+log = logging.getLogger(__name__)
 
 #: Legal backend names, checked up-front by config validation.
 FLOORPLAN_BACKENDS = ("sequence_pair", "slicing")
@@ -86,6 +91,7 @@ class PlannerConfig:
     lac_incremental: bool = True  # warm-started LAC solver (False = cold)
     lac_solver_engine: str = "auto"  # "auto" | "highs" | "ssp"
     min_period_prober: str = "auto"  # "auto" | "feas" | "bellman-ford"
+    trace_path: Optional[str] = None  # write a repro-trace/1 JSONL here
 
 
 def validate_planner_config(config: PlannerConfig) -> None:
@@ -291,12 +297,23 @@ def _run_iteration(
     """
     if runner is None:
         runner = StageRunner(ResilienceConfig(degrade_t_clk=False))
+    tracer = runner.tracer
     outer_scope = runner.scope
     runner.scope = f"iteration {index}"
     try:
-        return _run_iteration_stages(
-            graph, partition, plan, config, index, t_clk, runner
-        )
+        with tracer.span("iteration", index=index) as span:
+            iteration = _run_iteration_stages(
+                graph, partition, plan, config, index, t_clk, runner
+            )
+            span.set(
+                t_init=iteration.t_init,
+                t_min=iteration.t_min,
+                t_clk=iteration.t_clk,
+                infeasible=iteration.infeasible,
+                degraded=iteration.degraded,
+                n_foa_lac=iteration.n_foa_lac,
+            )
+            return iteration
     finally:
         runner.scope = outer_scope
 
@@ -310,6 +327,7 @@ def _run_iteration_stages(
     t_clk: Optional[float],
     runner: StageRunner,
 ) -> PlanningIteration:
+    tracer = runner.tracer
     grid = runner.run("tiles", lambda _a: build_tile_grid(plan, config.tech))
 
     def _route(attempt: int):
@@ -318,41 +336,61 @@ def _run_iteration_stages(
         nets = nets_from_graph(
             graph, grid, plan, jitter_seed=perturbed_seed(config.seed, attempt)
         )
-        return GlobalRouter(grid).route(nets, rrr_passes=config.rrr_passes)
+        return GlobalRouter(grid).route(
+            nets, rrr_passes=config.rrr_passes, tracer=tracer
+        )
 
     routed = runner.run("route", _route)
+
+    def _annotate_repeaters(buffered):
+        tracer.current.set(
+            n_connections=len(buffered),
+            n_repeaters=sum(c.n_repeaters for c in buffered.values()),
+        )
+        return buffered
 
     if config.repeater_backend == "tree":
         from repro.repeater.vanginneken import buffer_routed_nets_tree
 
         buffered = runner.run(
             "repeater",
-            lambda _a: buffer_routed_nets_tree(routed, grid, config.tech),
+            lambda _a: _annotate_repeaters(
+                buffer_routed_nets_tree(routed, grid, config.tech)
+            ),
             fallbacks=[
-                ("path", lambda _a: buffer_routed_nets(routed, grid, config.tech))
+                (
+                    "path",
+                    lambda _a: _annotate_repeaters(
+                        buffer_routed_nets(routed, grid, config.tech)
+                    ),
+                )
             ],
         )
     elif config.repeater_backend == "path":
         buffered = runner.run(
             "repeater",
-            lambda _a: buffer_routed_nets(routed, grid, config.tech),
+            lambda _a: _annotate_repeaters(
+                buffer_routed_nets(routed, grid, config.tech)
+            ),
         )
     else:
         raise PlanningError(
             f"unknown repeater backend {config.repeater_backend!r}"
         )
 
-    expanded = runner.run(
-        "expand",
-        lambda _a: expand_interconnects(
+    def _expand(_a):
+        expanded = expand_interconnects(
             graph,
             buffered,
             grid,
             plan,
             jitter_seed=config.seed,
             max_units_per_connection=config.max_units_per_connection,
-        ),
-    )
+        )
+        tracer.current.set(n_units=expanded.graph.num_units)
+        return expanded
+
+    expanded = runner.run("expand", _expand)
 
     wd = runner.run("wd", lambda _a: wd_matrices(expanded.graph))
     t_init = runner.run(
@@ -361,7 +399,7 @@ def _run_iteration_stages(
     t_min, _ = runner.run(
         "min_period",
         lambda _a: min_period_retiming(
-            expanded.graph, wd, prober=config.min_period_prober
+            expanded.graph, wd, prober=config.min_period_prober, tracer=tracer
         ),
     )
     requested = t_clk
@@ -373,37 +411,48 @@ def _run_iteration_stages(
         # same period, and constraint generation dominates run time
         # (the property the paper leans on in Section 4.2).
         start = time.perf_counter()
-        system = build_constraint_system(
-            expanded.graph, wd, period, prune=prune
-        )
+        with tracer.span("retime/constraints", period=period, prune=prune) as sp:
+            system = build_constraint_system(
+                expanded.graph, wd, period, prune=prune
+            )
+            sp.set(n_constraints=len(system.constraints))
         constraints_seconds = time.perf_counter() - start
         min_area_timed: Optional[TimedRetiming] = None
         if config.run_baseline:
             start = time.perf_counter()
-            base = min_area_retiming(
-                expanded.graph, period, wd=wd, system=system
-            )
+            with tracer.span("retime/min_area", period=period) as sp:
+                base = min_area_retiming(
+                    expanded.graph, period, wd=wd, system=system
+                )
             elapsed = time.perf_counter() - start
             base_report = area_report(
                 base.graph, expanded.unit_region, grid, config.tech
             )
+            sp.set(n_foa=base_report.n_foa, n_f=base_report.n_f)
             min_area_timed = TimedRetiming(base, base_report, elapsed)
 
         start = time.perf_counter()
-        lac_result = lac_retiming(
-            expanded.graph,
-            expanded.unit_region,
-            grid,
-            period,
-            tech=config.tech,
-            alpha=config.alpha,
-            n_max=config.n_max,
-            max_rounds=config.max_rounds,
-            wd=wd,
-            system=system,
-            incremental=config.lac_incremental,
-            solver_engine=config.lac_solver_engine,
-        )
+        with tracer.span("retime/lac", period=period) as sp:
+            lac_result = lac_retiming(
+                expanded.graph,
+                expanded.unit_region,
+                grid,
+                period,
+                tech=config.tech,
+                alpha=config.alpha,
+                n_max=config.n_max,
+                max_rounds=config.max_rounds,
+                wd=wd,
+                system=system,
+                incremental=config.lac_incremental,
+                solver_engine=config.lac_solver_engine,
+                tracer=tracer,
+            )
+            sp.set(
+                n_wr=lac_result.n_wr,
+                n_foa=lac_result.report.n_foa,
+                n_f=lac_result.report.n_f,
+            )
         lac_seconds = time.perf_counter() - start
         return min_area_timed, lac_result, lac_seconds, constraints_seconds
 
@@ -416,11 +465,20 @@ def _run_iteration_stages(
                 return _RetimeOutcome(None, None, 0.0, t_clk, infeasible=True)
             relaxed = find_relaxed_period(expanded.graph, t_clk, t_init, wd=wd)
             if relaxed is None:
+                log.warning(
+                    "retime: T_clk=%.3f infeasible, no relaxed period below "
+                    "T_init=%.3f",
+                    t_clk,
+                    t_init,
+                )
                 runner.note(
                     f"retime: T_clk={t_clk:.3f} infeasible and no relaxed "
                     f"period found below T_init={t_init:.3f}"
                 )
                 return _RetimeOutcome(None, None, 0.0, t_clk, infeasible=True)
+            log.warning(
+                "retime: T_clk=%.3f infeasible; degraded to %.3f", t_clk, relaxed
+            )
             runner.note(
                 f"retime: T_clk={t_clk:.3f} infeasible; degraded to "
                 f"{relaxed:.3f} (T_init={t_init:.3f})"
@@ -499,6 +557,7 @@ def plan_interconnect(
     max_iterations: int = 2,
     faults: Optional[FaultInjector] = None,
     perf=None,
+    tracer=None,
     **overrides,
 ) -> PlanningOutcome:
     """Run the full interconnect-planning flow on a circuit.
@@ -509,9 +568,15 @@ def plan_interconnect(
     Stages run under ``config.resilience`` (the default posture gives
     the stochastic stages a retry and degrades infeasible periods);
     ``faults`` optionally injects deterministic failures/delays for
-    testing the recovery paths. ``perf``, if given, is a
-    :class:`repro.perf.PerfRecorder` that receives per-stage wall time
-    (from the run ledger) and the retiming sub-timings on completion.
+    testing the recovery paths.
+
+    Observability: ``tracer`` (a :class:`repro.obs.Tracer`) receives
+    the run's span tree — stages, iterations, LAC rounds, FEAS probes.
+    When ``config.trace_path`` is set the spans are also written there
+    as ``repro-trace/1`` JSONL (on failure too, for post-mortems).
+    ``perf``, if given, is a :class:`repro.perf.PerfRecorder` whose
+    stage table is derived from those same spans; without any of the
+    three, the flow runs on the no-op tracer and pays ~nothing.
     """
     if config is None:
         config = PlannerConfig()
@@ -520,16 +585,77 @@ def plan_interconnect(
     validate_planner_config(config)
     graph.validate()
 
+    trace_path = config.trace_path
+    if tracer is None:
+        # perf derives its stage table from spans, so it needs a real
+        # tracer even when no trace file was requested.
+        if trace_path or perf is not None:
+            tracer = Tracer(meta={"circuit": graph.name, "seed": config.seed})
+        else:
+            tracer = NOOP_TRACER
+
     resilience = config.resilience or default_resilience()
     ledger = RunLedger()
-    runner = StageRunner(resilience, ledger, faults=faults)
+    runner = StageRunner(resilience, ledger, faults=faults, tracer=tracer)
 
     hosts = set(graph.host_units())
     n_units = graph.num_units - len(hosts)
     n_blocks = config.n_blocks or default_block_count(n_units)
+    log.info(
+        "planning %s: %d units into %d blocks (seed %d)",
+        graph.name,
+        n_units,
+        n_blocks,
+        config.seed,
+    )
+
+    try:
+        with tracer.span(
+            "plan",
+            circuit=graph.name,
+            seed=config.seed,
+            n_blocks=n_blocks,
+            max_iterations=max_iterations,
+        ) as plan_span:
+            outcome = _plan_stages(
+                graph, config, max_iterations, runner, n_blocks, ledger
+            )
+            plan_span.set(
+                converged=outcome.converged,
+                degraded=outcome.degraded,
+                iterations=len(outcome.iterations),
+            )
+    finally:
+        # Written on failure too: a trace of a crashed run is exactly
+        # what the post-mortem needs.
+        if trace_path:
+            write_trace(tracer, trace_path)
+    log.info(
+        "planning %s done: converged=%s, %d iteration(s)",
+        graph.name,
+        outcome.converged,
+        len(outcome.iterations),
+    )
+    if perf is not None:
+        perf.ingest_spans(tracer.spans)
+    return outcome
+
+
+def _plan_stages(
+    graph: CircuitGraph,
+    config: PlannerConfig,
+    max_iterations: int,
+    runner: StageRunner,
+    n_blocks: int,
+    ledger: RunLedger,
+) -> PlanningOutcome:
+    """The planning flow proper, run inside the root ``plan`` span."""
+    tracer = runner.tracer
     partition = runner.run(
         "partition",
-        lambda _a: partition_graph(graph, n_blocks, seed=config.seed),
+        lambda _a: partition_graph(
+            graph, n_blocks, seed=config.seed, tracer=tracer
+        ),
     )
     plan = runner.run(
         "floorplan",
@@ -542,6 +668,7 @@ def plan_interconnect(
             whitespace=config.whitespace,
             iterations=config.floorplan_iterations,
             backend=config.floorplan_backend,
+            tracer=tracer,
         ),
     )
 
@@ -559,6 +686,12 @@ def plan_interconnect(
         congested = _congested_blocks(current)
         if not congested:
             break
+        log.info(
+            "iteration %d left %d violating FFs; expanding %s",
+            current.index,
+            current.lac.n_foa,
+            ", ".join(congested),
+        )
         plan = runner.run(
             "expand_floorplan",
             lambda attempt: expand_floorplan(
@@ -568,6 +701,7 @@ def plan_interconnect(
                 factor=config.expansion_factor,
                 seed=perturbed_seed(config.seed, attempt),
                 iterations=config.floorplan_iterations,
+                tracer=tracer,
             ),
         )
         current = _run_iteration(
@@ -581,9 +715,6 @@ def plan_interconnect(
         )
         iterations.append(current)
 
-    outcome = PlanningOutcome(
+    return PlanningOutcome(
         circuit=graph.name, config=config, iterations=iterations, ledger=ledger
     )
-    if perf is not None:
-        perf.ingest_outcome(outcome)
-    return outcome

@@ -8,12 +8,16 @@ sequences, or reshape a random soft block's aspect ratio.
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.floorplan.blocks import Block, Placement
 from repro.floorplan.sequence_pair import pack
+from repro.obs import NOOP_TRACER
+
+log = logging.getLogger(__name__)
 
 _ASPECTS = (0.4, 0.6, 0.8, 1.0, 1.25, 1.65, 2.5)
 
@@ -88,7 +92,11 @@ class SequencePairAnnealer:
 
     # ------------------------------------------------------------------
     def run(
-        self, iterations: int = 3000, t_start: float = 1.0, t_end: float = 1e-3
+        self,
+        iterations: int = 3000,
+        t_start: float = 1.0,
+        t_end: float = 1e-3,
+        tracer=None,
     ) -> Tuple[List[Placement], float, float]:
         """Anneal and return ``(placements, chip_w, chip_h)`` of the best
         floorplan found.
@@ -96,32 +104,66 @@ class SequencePairAnnealer:
         ``self.best_sequences`` and ``self.best_blocks`` hold the
         sequence pair and block shapes of that floorplan, so callers
         can re-pack it incrementally (e.g. after expanding a block).
+
+        ``tracer`` records the anneal as a ``floorplan/anneal`` span:
+        acceptance rate, cost trajectory, final temperature, plus ten
+        ``checkpoint`` events along the cooling schedule.
         """
+        if tracer is None:
+            tracer = NOOP_TRACER
         names = sorted(self.blocks)
         gp = list(names)
         gm = list(names)
         self.rng.shuffle(gp)
         self.rng.shuffle(gm)
-        cost, placements, w, h = self._cost(gp, gm)
-        best = (cost, placements, w, h)
-        self.best_sequences = (list(gp), list(gm))
-        self.best_blocks = dict(self.blocks)
+        with tracer.span("floorplan/anneal", iterations=iterations) as span:
+            cost, placements, w, h = self._cost(gp, gm)
+            initial_cost = cost
+            best = (cost, placements, w, h)
+            self.best_sequences = (list(gp), list(gm))
+            self.best_blocks = dict(self.blocks)
 
-        alpha = (t_end / t_start) ** (1.0 / max(iterations, 1))
-        temp = t_start * cost  # scale temperature to the cost magnitude
-        for _ in range(iterations):
-            cand_gp, cand_gm, undo = self._neighbour(gp, gm)
-            cand_cost, cand_pl, cand_w, cand_h = self._cost(cand_gp, cand_gm)
-            delta = cand_cost - cost
-            if delta <= 0 or self.rng.random() < math.exp(-delta / max(temp, 1e-12)):
-                gp, gm, cost = cand_gp, cand_gm, cand_cost
-                if cost < best[0]:
-                    best = (cost, cand_pl, cand_w, cand_h)
-                    self.best_sequences = (list(gp), list(gm))
-                    self.best_blocks = dict(self.blocks)
-            elif undo is not None:
-                name, previous = undo
-                self.blocks[name] = previous
-            temp *= alpha
+            alpha = (t_end / t_start) ** (1.0 / max(iterations, 1))
+            temp = t_start * cost  # scale temperature to the cost magnitude
+            accepted = 0
+            checkpoint = max(1, iterations // 10)
+            for i in range(iterations):
+                cand_gp, cand_gm, undo = self._neighbour(gp, gm)
+                cand_cost, cand_pl, cand_w, cand_h = self._cost(cand_gp, cand_gm)
+                delta = cand_cost - cost
+                if delta <= 0 or self.rng.random() < math.exp(
+                    -delta / max(temp, 1e-12)
+                ):
+                    gp, gm, cost = cand_gp, cand_gm, cand_cost
+                    accepted += 1
+                    if cost < best[0]:
+                        best = (cost, cand_pl, cand_w, cand_h)
+                        self.best_sequences = (list(gp), list(gm))
+                        self.best_blocks = dict(self.blocks)
+                elif undo is not None:
+                    name, previous = undo
+                    self.blocks[name] = previous
+                temp *= alpha
+                if tracer.enabled and (i + 1) % checkpoint == 0:
+                    span.event(
+                        "checkpoint",
+                        iteration=i + 1,
+                        temperature=temp,
+                        cost=cost,
+                        best_cost=best[0],
+                    )
+            span.set(
+                acceptance_rate=accepted / max(iterations, 1),
+                initial_cost=initial_cost,
+                best_cost=best[0],
+                t_final=temp,
+            )
         _best_cost, placements, w, h = best
+        log.debug(
+            "anneal: %d moves, %d accepted, cost %.1f -> %.1f",
+            iterations,
+            accepted,
+            initial_cost,
+            _best_cost,
+        )
         return placements, w, h

@@ -18,6 +18,7 @@ from repro.floorplan.annealer import SequencePairAnnealer
 from repro.floorplan.blocks import Block, Placement
 from repro.floorplan.sequence_pair import pack
 from repro.netlist.graph import CircuitGraph
+from repro.obs import NOOP_TRACER
 from repro.partition.multiway import Partition
 
 
@@ -123,6 +124,7 @@ def build_floorplan(
     whitespace: float = 0.25,
     iterations: int = 2500,
     backend: str = "sequence_pair",
+    tracer=None,
 ) -> Floorplan:
     """Partition-aware floorplanning: size blocks, anneal, package.
 
@@ -165,7 +167,7 @@ def build_floorplan(
         raise FloorplanError(f"unknown floorplan backend {backend!r}")
     net_pairs = net_pairs_from_graph(graph, block_of_unit)
     annealer = SequencePairAnnealer(blocks, net_pairs, seed=seed)
-    annealer.run(iterations=iterations)
+    annealer.run(iterations=iterations, tracer=tracer)
     gp, gm = annealer.best_sequences
     best_blocks = annealer.best_blocks
     placements, w, h = pack(gp, gm, best_blocks)
@@ -186,6 +188,7 @@ def expand_floorplan(
     factor: float = 1.5,
     seed: int = 1,
     iterations: int = 2500,
+    tracer=None,
 ) -> Floorplan:
     """Expand congested soft blocks and revise the floorplan.
 
@@ -196,6 +199,8 @@ def expand_floorplan(
     re-anneal only happens when the plan carries no sequence pair (e.g.
     hand-built floorplans).
     """
+    if tracer is None:
+        tracer = NOOP_TRACER
     new_blocks = {}
     for name, block in plan.blocks.items():
         if name in congested_blocks and not block.hard:
@@ -204,7 +209,11 @@ def expand_floorplan(
             new_blocks[name] = block
     if plan.sequence_pair is not None:
         gp, gm = plan.sequence_pair
-        placements, w, h = pack(gp, gm, new_blocks)
+        with tracer.span(
+            "floorplan/repack", expanded=list(congested_blocks)
+        ) as span:
+            placements, w, h = pack(gp, gm, new_blocks)
+            span.set(chip_width=w, chip_height=h)
         return Floorplan(
             blocks=new_blocks,
             placements={p.name: p for p in placements},
@@ -215,7 +224,7 @@ def expand_floorplan(
         )
     net_pairs = net_pairs_from_graph(graph, plan.block_of_unit)
     annealer = SequencePairAnnealer(list(new_blocks.values()), net_pairs, seed=seed)
-    annealer.run(iterations=iterations)
+    annealer.run(iterations=iterations, tracer=tracer)
     gp, gm = annealer.best_sequences
     placements, w, h = pack(gp, gm, annealer.best_blocks)
     return Floorplan(

@@ -1,0 +1,51 @@
+"""Structured observability for the planning pipeline.
+
+``repro.obs`` is the tracing layer the rest of the library reports
+into: a hierarchical span tracer (:class:`Tracer`) with nested spans,
+attributes, timestamped events and counters; a zero-overhead no-op
+tracer (:data:`NOOP_TRACER`) that untraced runs pay ~nothing for; a
+JSONL exporter/reader for the ``repro-trace/1`` schema; and a renderer
+(:func:`~repro.obs.summarize.summarize`) that turns a trace into a
+span tree with self/total times plus the per-round convergence tables
+(LAC reweighting, FEAS probes, floorplan annealing, FM passes).
+
+Typical use::
+
+    from repro.obs import Tracer
+    from repro.obs.export import write_trace
+
+    tracer = Tracer()
+    outcome = plan_interconnect(graph, tracer=tracer)
+    write_trace(tracer, "out.jsonl")
+
+or, equivalently, ``plan_interconnect(graph, trace_path="out.jsonl")``
+/ ``python -m repro plan s1423 --trace out.jsonl`` followed by
+``python -m repro trace summarize out.jsonl``.
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    TraceDocument,
+    TraceError,
+    read_trace,
+    trace_lines,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "Span",
+    "TRACE_SCHEMA",
+    "SpanRecord",
+    "TraceDocument",
+    "TraceError",
+    "read_trace",
+    "trace_lines",
+    "validate_trace",
+    "write_trace",
+]

@@ -10,8 +10,13 @@ handled by the caller, :mod:`repro.partition.multiway`).
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.obs import NOOP_TRACER
+
+log = logging.getLogger(__name__)
 
 
 class FMBipartitioner:
@@ -54,19 +59,41 @@ class FMBipartitioner:
                     self._nets_of[c].append(i)
 
     # ------------------------------------------------------------------
-    def run(self, passes: int = 8) -> Dict[str, int]:
-        """Return a side assignment ``cell -> 0 | 1``."""
-        side = self._initial_partition()
-        best_side = dict(side)
-        best_cut = self.cut_size(side)
-        for _ in range(passes):
-            improved, side = self._one_pass(side)
-            cut = self.cut_size(side)
-            if cut < best_cut:
-                best_cut = cut
-                best_side = dict(side)
-            if not improved:
-                break
+    def run(self, passes: int = 8, tracer=None) -> Dict[str, int]:
+        """Return a side assignment ``cell -> 0 | 1``.
+
+        With a ``tracer`` the refinement becomes a ``partition/fm``
+        span carrying the cutsize trajectory (initial cut, final cut,
+        one ``pass`` event per FM pass).
+        """
+        if tracer is None:
+            tracer = NOOP_TRACER
+        with tracer.span(
+            "partition/fm", cells=len(self.cells), nets=len(self.nets)
+        ) as span:
+            side = self._initial_partition()
+            best_side = dict(side)
+            best_cut = initial_cut = self.cut_size(side)
+            span.set(initial_cut=initial_cut)
+            n_passes = 0
+            for _ in range(passes):
+                improved, side = self._one_pass(side)
+                cut = self.cut_size(side)
+                n_passes += 1
+                span.event("pass", index=n_passes, cut=cut)
+                if cut < best_cut:
+                    best_cut = cut
+                    best_side = dict(side)
+                if not improved:
+                    break
+            span.set(final_cut=best_cut, passes=n_passes)
+        log.debug(
+            "FM: %d cells, cut %d -> %d in %d pass(es)",
+            len(self.cells),
+            initial_cut,
+            best_cut,
+            n_passes,
+        )
         return best_side
 
     def cut_size(self, side: Mapping[str, int]) -> int:

@@ -58,8 +58,13 @@ def partition_graph(
     seed: int = 0,
     balance: float = 0.65,
     passes: int = 6,
+    tracer=None,
 ) -> Partition:
     """Partition the non-host units of ``graph`` into ``n_blocks`` blocks.
+
+    Each recursive FM bipartition records a ``partition/fm`` span on
+    ``tracer`` (cut trajectory per pass); see
+    :meth:`repro.partition.fm.FMBipartitioner.run`.
 
     Raises :class:`NetlistError` if there are fewer units than blocks.
     """
@@ -86,7 +91,7 @@ def partition_graph(
         fm = FMBipartitioner(
             sorted(group), areas, nets, balance=balance, rng=rng
         )
-        side = fm.run(passes=passes)
+        side = fm.run(passes=passes, tracer=tracer)
         g0 = {u for u in group if side[u] == 0}
         g1 = group - g0
         if not g0 or not g1:

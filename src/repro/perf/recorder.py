@@ -1,10 +1,18 @@
 """Stage-level wall-clock accounting.
 
-The planner already times every resilient stage into its
-:class:`~repro.resilience.ledger.RunLedger`; :class:`PerfRecorder`
-aggregates those records (plus the retiming sub-timings that live on
-each :class:`~repro.core.planner.PlanningIteration`) into one flat
-name -> seconds table that serialises cleanly into the bench JSON.
+Timing has **one source of truth**: the span tracer
+(:mod:`repro.obs`). The planner runs every resilient stage inside a
+span, and :meth:`PerfRecorder.ingest_spans` collapses those spans into
+the flat name -> seconds table the bench JSON embeds; ``python -m
+repro trace summarize`` derives its stage table from the same spans,
+so the two always agree.
+
+The older ledger route (:meth:`ingest_ledger` /
+:meth:`ingest_outcome`) remains for callers that have a finished
+:class:`~repro.core.planner.PlanningOutcome` but no trace. The two
+routes are alternatives for the *same* stages — ingest a run through
+exactly one of them, never both, or every stage double-counts; the
+planner picks the span route whenever a recorder is attached.
 """
 
 from __future__ import annotations
@@ -12,7 +20,18 @@ from __future__ import annotations
 import dataclasses
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List
+from typing import Dict, Iterable, Iterator, List
+
+
+#: Span names (see the taxonomy in docs/api.md) that map to the
+#: retiming sub-timing rows of the stage table. They are nested inside
+#: the ``retime`` stage span, hence the "/" namespace that keeps
+#: :attr:`PerfRecorder.total_seconds` from counting them twice.
+_RETIME_SUB_SPANS = {
+    "retime/constraints",
+    "retime/min_area",
+    "retime/lac",
+}
 
 
 @dataclasses.dataclass
@@ -54,14 +73,45 @@ class PerfRecorder:
             self.add(name, time.perf_counter() - start)
 
     # ------------------------------------------------------------------
+    def ingest_spans(self, spans: Iterable) -> None:
+        """Build the stage table from trace spans (live or re-read).
+
+        Accepts anything span-shaped (``name``/``attrs``/``elapsed``):
+        :class:`repro.obs.Span` objects straight off a tracer or
+        :class:`repro.obs.export.SpanRecord` objects from a trace file.
+        Each planner stage span (``kind == "stage"``) contributes one
+        call under its scope-qualified ledger name; the retiming
+        sub-spans and LAC round spans land under their nested
+        ``retime/...`` names. Other spans (``plan``, ``iteration``,
+        convergence detail) are structural and not stage time.
+        """
+        for span in spans:
+            attrs = span.attrs
+            if attrs.get("kind") == "stage":
+                scope = attrs.get("scope") or ""
+                name = f"{scope} · {span.name}" if scope else span.name
+                self.add(name, span.elapsed)
+            elif span.name in _RETIME_SUB_SPANS:
+                self.add(span.name, span.elapsed)
+            elif span.name == "lac/round":
+                self.add("retime/lac/rounds", span.elapsed)
+
+    # ------------------------------------------------------------------
     def ingest_ledger(self, ledger) -> None:
-        """Pull per-stage wall time from a :class:`RunLedger`."""
+        """Pull per-stage wall time from a :class:`RunLedger`.
+
+        Ledger fallback — covers the same stages as the stage spans of
+        :meth:`ingest_spans`; use one route or the other, not both.
+        """
         for record in ledger.records:
             self.add(record.name, record.seconds)
 
     def ingest_outcome(self, outcome) -> None:
         """Ingest a :class:`PlanningOutcome`: ledger stages + retiming
         sub-timings (min-area baseline, LAC total, LAC per-round sum).
+
+        Ledger fallback for span-less callers; equivalent to (and
+        mutually exclusive with) ingesting the run's trace spans.
         """
         self.ingest_ledger(outcome.ledger)
         for it in outcome.iterations:

@@ -22,12 +22,15 @@ convention).
 
 from __future__ import annotations
 
+import contextvars
+import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Callable, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import StageFailedError, StageTimeoutError
+from repro.obs import NOOP_TRACER
 from repro.resilience.faults import FaultInjector
 from repro.resilience.ledger import (
     ERROR,
@@ -39,6 +42,8 @@ from repro.resilience.ledger import (
     StageRecord,
 )
 from repro.resilience.policy import ResilienceConfig
+
+log = logging.getLogger(__name__)
 
 T = TypeVar("T")
 
@@ -60,11 +65,13 @@ class StageRunner:
         config: Optional[ResilienceConfig] = None,
         ledger: Optional[RunLedger] = None,
         faults: Optional[FaultInjector] = None,
+        tracer=None,
     ):
         self.config = config or ResilienceConfig()
         self.ledger = ledger if ledger is not None else RunLedger()
         self.faults = faults
-        self.scope = ""  # e.g. "iteration 2"; purely for the ledger
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.scope = ""  # e.g. "iteration 2"; used by ledger and spans
 
     def note(self, message: str) -> None:
         prefix = f"{self.scope} · " if self.scope else ""
@@ -86,69 +93,112 @@ class StageRunner:
         variants = [("primary", primary)] + list(fallbacks)
         attempts = []
         last_exc: Optional[BaseException] = None
-        for v_index, (name, fn) in enumerate(variants):
-            n_tries = policy.max_attempts if v_index == 0 else 1
-            for attempt in range(1, n_tries + 1):
-                start = time.perf_counter()
-                try:
-                    result = self._call(stage, fn, attempt, policy.timeout)
-                except StageTimeoutError as exc:
-                    attempts.append(
-                        StageAttempt(
-                            stage,
-                            attempt,
-                            name,
-                            TIMEOUT,
-                            time.perf_counter() - start,
-                            f"{type(exc).__name__}: {exc}",
+        with self.tracer.span(stage, kind="stage", scope=self.scope) as span:
+            for v_index, (name, fn) in enumerate(variants):
+                n_tries = policy.max_attempts if v_index == 0 else 1
+                for attempt in range(1, n_tries + 1):
+                    start = time.perf_counter()
+                    try:
+                        result = self._call(stage, fn, attempt, policy.timeout)
+                    except StageTimeoutError as exc:
+                        attempts.append(
+                            StageAttempt(
+                                stage,
+                                attempt,
+                                name,
+                                TIMEOUT,
+                                time.perf_counter() - start,
+                                f"{type(exc).__name__}: {exc}",
+                            )
                         )
-                    )
-                    last_exc = exc
-                except policy.retry_on as exc:
-                    attempts.append(
-                        StageAttempt(
-                            stage,
-                            attempt,
-                            name,
-                            ERROR,
-                            time.perf_counter() - start,
-                            f"{type(exc).__name__}: {exc}",
+                        span.event(
+                            "attempt", variant=name, index=attempt, status=TIMEOUT
                         )
-                    )
-                    last_exc = exc
-                except BaseException as exc:
-                    # Not retryable: record, close the ledger entry,
-                    # and let it propagate untouched.
-                    attempts.append(
-                        StageAttempt(
+                        log.warning(
+                            "stage %s: %s#%d timed out after %.1fs",
                             stage,
-                            attempt,
                             name,
-                            ERROR,
-                            time.perf_counter() - start,
-                            f"{type(exc).__name__}: {exc}",
+                            attempt,
+                            policy.timeout or 0.0,
                         )
-                    )
-                    self._record(stage, attempts, FAILED)
-                    raise
-                else:
-                    attempts.append(
-                        StageAttempt(
+                        last_exc = exc
+                    except policy.retry_on as exc:
+                        attempts.append(
+                            StageAttempt(
+                                stage,
+                                attempt,
+                                name,
+                                ERROR,
+                                time.perf_counter() - start,
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        span.event(
+                            "attempt",
+                            variant=name,
+                            index=attempt,
+                            status=ERROR,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        log.warning(
+                            "stage %s: %s#%d failed (%s: %s), retrying",
                             stage,
-                            attempt,
                             name,
+                            attempt,
+                            type(exc).__name__,
+                            exc,
+                        )
+                        last_exc = exc
+                    except BaseException as exc:
+                        # Not retryable: record, close the ledger entry,
+                        # and let it propagate untouched.
+                        attempts.append(
+                            StageAttempt(
+                                stage,
+                                attempt,
+                                name,
+                                ERROR,
+                                time.perf_counter() - start,
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        self._record(stage, attempts, FAILED)
+                        span.set(status=FAILED, attempts=len(attempts))
+                        raise
+                    else:
+                        attempts.append(
+                            StageAttempt(
+                                stage,
+                                attempt,
+                                name,
+                                OK,
+                                time.perf_counter() - start,
+                            )
+                        )
+                        self._record(
+                            stage,
+                            attempts,
                             OK,
-                            time.perf_counter() - start,
+                            fallback=name if v_index > 0 else None,
                         )
-                    )
-                    self._record(
-                        stage,
-                        attempts,
-                        OK,
-                        fallback=name if v_index > 0 else None,
-                    )
-                    return result
-        self._record(stage, attempts, FAILED)
+                        span.set(status=OK, attempts=len(attempts))
+                        if v_index > 0:
+                            span.set(fallback=name)
+                            log.info(
+                                "stage %s: recovered via fallback %r",
+                                stage,
+                                name,
+                            )
+                        log.debug(
+                            "stage %s: ok in %.3fs (%d attempt(s))",
+                            stage,
+                            attempts[-1].seconds,
+                            len(attempts),
+                        )
+                        return result
+            self._record(stage, attempts, FAILED)
+            span.set(status=FAILED, attempts=len(attempts))
+            log.error("stage %s: exhausted after %d attempts", stage, len(attempts))
         raise StageFailedError(stage, attempts) from last_exc
 
     def _call(
@@ -169,7 +219,9 @@ class StageRunner:
             max_workers=1, thread_name_prefix=f"stage-{stage}"
         )
         try:
-            future = executor.submit(thunk)
+            # Copy the context so spans opened inside the worker nest
+            # under the stage span (contextvars do not cross threads).
+            future = executor.submit(contextvars.copy_context().run, thunk)
             try:
                 return future.result(timeout=timeout)
             except _FuturesTimeout:

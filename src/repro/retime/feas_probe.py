@@ -94,6 +94,9 @@ class FeasProbe:
     delays: np.ndarray
     host_idx: np.ndarray
     max_delay: float
+    #: FEAS rounds consumed by the most recent probe — observability
+    #: only (the min-period search reports it per probe span).
+    last_rounds: int = 0
 
     @classmethod
     def build(cls, graph: CircuitGraph) -> "FeasProbe":
@@ -236,7 +239,8 @@ class FeasProbe:
         """
         base = r.copy()
         hosts = self.host_idx
-        for _ in range(max_rounds):
+        for round_no in range(1, max_rounds + 1):
+            self.last_rounds = round_no
             active = (self.ew + r[self.ev] - r[self.eu]) == 0
             delta = self._arrival(active)
             grow = delta > period + _EPS
@@ -268,6 +272,7 @@ class FeasProbe:
         to :class:`~repro.retime.fastcheck.FeasibilityChecker`).
         """
         if self.max_delay > period:
+            self.last_rounds = 0
             return None
         r = self._start_labels(start)
         # The certificate needs at most |V| increments of one vertex;
@@ -293,6 +298,7 @@ class FeasProbe:
         (see the min-period search).
         """
         if self.max_delay > period:
+            self.last_rounds = 0
             return False, None
         r = self._start_labels(start)
         if self._iterate(period, r, rounds):

@@ -43,18 +43,22 @@ The paper uses min-period retiming to establish ``T_min``, then sets
 from __future__ import annotations
 
 import bisect
+import logging
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import InfeasiblePeriodError, RetimingError
 from repro.netlist.graph import CircuitGraph
+from repro.obs import NOOP_TRACER
 from repro.retime.constraints import build_constraint_system
 from repro.retime.fastcheck import FeasibilityChecker
 from repro.retime.feas_probe import FeasProbe
 from repro.retime.flow import feasible_labels
 from repro.retime.minarea import RetimingResult, normalise_labels
 from repro.retime.wd import WDMatrices, candidate_periods, wd_matrices
+
+log = logging.getLogger(__name__)
 
 #: Legal values for the ``prober`` switch of :func:`min_period_retiming`.
 PROBERS = ("auto", "feas", "bellman-ford")
@@ -118,6 +122,7 @@ def _feas_search(
     wd: WDMatrices,
     candidates,
     allow_fallback: bool,
+    tracer=NOOP_TRACER,
 ) -> _SearchResult:
     """Clamped, warm-started, budgeted binary search (see module doc).
 
@@ -135,14 +140,27 @@ def _feas_search(
         idx: int, start: Optional[np.ndarray]
     ) -> Optional[np.ndarray]:
         nonlocal checker
-        if not allow_fallback:
-            return engine.probe(candidates[idx], start=start)
-        if checker is None:
-            checker = FeasibilityChecker.build(graph, wd)
-        labels = checker.labels(candidates[idx])
-        if labels is None:
-            return None
-        return np.array([labels[v] for v in engine.order], dtype=np.int64)
+        with tracer.span(
+            "feas/certify",
+            t=candidates[idx],
+            method="bellman-ford" if allow_fallback else "feas",
+        ) as span:
+            if not allow_fallback:
+                raw = engine.probe(candidates[idx], start=start)
+                span.set(rounds=engine.last_rounds)
+            else:
+                if checker is None:
+                    checker = FeasibilityChecker.build(graph, wd)
+                labels = checker.labels(candidates[idx])
+                raw = (
+                    None
+                    if labels is None
+                    else np.array(
+                        [labels[v] for v in engine.order], dtype=np.int64
+                    )
+                )
+            span.set(verdict="infeasible" if raw is None else "feasible")
+        return raw
 
     # Clamp the window: below the max vertex delay nothing is feasible;
     # at the first candidate >= the current clock period the identity
@@ -157,9 +175,16 @@ def _feas_search(
         lo, cur_hi = floor, best_idx
         while lo < cur_hi:
             mid = (lo + cur_hi) // 2
-            verified, raw = engine.probe_budget(
-                candidates[mid], best_raw, budget
-            )
+            with tracer.span(
+                "feas/probe", t=candidates[mid], budget=budget
+            ) as span:
+                verified, raw = engine.probe_budget(
+                    candidates[mid], best_raw, budget
+                )
+                span.set(
+                    verdict="feasible" if verified else "unverified",
+                    rounds=engine.last_rounds,
+                )
             if verified:
                 best_idx, best_raw = mid, raw
                 cur_hi = mid
@@ -181,19 +206,26 @@ def _feas_search(
 
 
 def _bellman_ford_search(
-    graph: CircuitGraph, wd: WDMatrices, candidates
+    graph: CircuitGraph, wd: WDMatrices, candidates, tracer=NOOP_TRACER
 ) -> _SearchResult:
     """Binary search with the dense Bellman–Ford reference checker."""
     checker = FeasibilityChecker.build(graph, wd)
+
+    def probe(t: float) -> Optional[Dict[str, int]]:
+        with tracer.span("feas/probe", t=t, method="bellman-ford") as span:
+            labels = checker.labels(t)
+            span.set(verdict="infeasible" if labels is None else "feasible")
+        return labels
+
     lo, hi = 0, len(candidates) - 1
-    if (labels := checker.labels(candidates[hi])) is None:
+    if (labels := probe(candidates[hi])) is None:
         raise InfeasiblePeriodError(
             candidates[hi], "even the largest candidate period is infeasible"
         )
     best = (candidates[hi], labels)
     while lo < hi:
         mid = (lo + hi) // 2
-        labels = checker.labels(candidates[mid])
+        labels = probe(candidates[mid])
         if labels is not None:
             best = (candidates[mid], labels)
             hi = mid
@@ -210,6 +242,7 @@ def _refine_exact(
     labels: Dict[str, int],
     lower: Optional[float],
     checker: Optional[FeasibilityChecker],
+    tracer=NOOP_TRACER,
 ) -> Tuple[float, Dict[str, int]]:
     """Tighten a merged-candidate winner to the exact minimum.
 
@@ -235,11 +268,17 @@ def _refine_exact(
     start = np.array(
         [labels.get(v, 0) for v in wd.order], dtype=np.int64
     )
+    def refine_probe(t: float, warm: np.ndarray) -> Optional[np.ndarray]:
+        with tracer.span("feas/refine", t=t) as span:
+            raw = checker.refine(t, warm)
+            span.set(verdict="infeasible" if raw is None else "feasible")
+        return raw
+
     best: Optional[Tuple[float, np.ndarray]] = None
     lo_i, hi_i = 0, len(domain)
     while lo_i < hi_i:
         mid = (lo_i + hi_i) // 2
-        raw = checker.refine(domain[mid], start)
+        raw = refine_probe(domain[mid], start)
         if raw is not None:
             best = (domain[mid], raw)
             start = raw
@@ -251,7 +290,7 @@ def _refine_exact(
         # only at a knife edge where the FEAS epsilon absorbed a real
         # sub-tolerance violation. Walk up to the first exact winner.
         for t in exact[bisect.bisect_right(exact, period):]:
-            raw = checker.refine(t, start)
+            raw = refine_probe(t, start)
             if raw is not None:
                 best = (t, raw)
                 break
@@ -265,6 +304,7 @@ def min_period_retiming(
     graph: CircuitGraph,
     wd: Optional[WDMatrices] = None,
     prober: str = "auto",
+    tracer=None,
 ) -> Tuple[float, RetimingResult]:
     """Find the minimum feasible period and a retiming achieving it.
 
@@ -278,33 +318,63 @@ def min_period_retiming(
 
     All probers decide feasibility exactly, so ``T_min`` is identical
     for every choice (the witness retiming may differ).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) wraps the whole search in
+    a ``min_period/search`` span; every budgeted probe, boundary
+    certification and exact-tie refinement becomes a child span with
+    its candidate period, verdict, and FEAS round count.
     """
     if prober not in PROBERS:
         raise RetimingError(
             f"unknown prober {prober!r} (expected one of {', '.join(PROBERS)})"
         )
+    if tracer is None:
+        tracer = NOOP_TRACER
     if wd is None:
         wd = wd_matrices(graph)
     candidates = candidate_periods(wd)
     if not candidates:
         raise RetimingError("graph has no paths; period undefined")
 
-    engine: Optional[FeasProbe] = None
-    if prober in ("auto", "feas"):
-        try:
-            engine = FeasProbe.build(graph)
-        except RetimingError:
-            if prober == "feas":
-                raise
-    if engine is not None:
-        period, labels, lower, checker = _feas_search(
-            engine, graph, wd, candidates, allow_fallback=(prober == "auto")
+    with tracer.span("min_period/search", prober=prober) as search:
+        engine: Optional[FeasProbe] = None
+        if prober in ("auto", "feas"):
+            try:
+                engine = FeasProbe.build(graph)
+            except RetimingError:
+                if prober == "feas":
+                    raise
+                log.debug(
+                    "FEAS engine unavailable for %s; using Bellman-Ford",
+                    graph.name,
+                )
+        if engine is not None:
+            period, labels, lower, checker = _feas_search(
+                engine,
+                graph,
+                wd,
+                candidates,
+                allow_fallback=(prober == "auto"),
+                tracer=tracer,
+            )
+        else:
+            period, labels, lower, checker = _bellman_ford_search(
+                graph, wd, candidates, tracer=tracer
+            )
+        period, labels = _refine_exact(
+            graph, wd, period, labels, lower, checker, tracer=tracer
         )
-    else:
-        period, labels, lower, checker = _bellman_ford_search(
-            graph, wd, candidates
+        search.set(
+            engine="feas" if engine is not None else "bellman-ford",
+            n_candidates=len(candidates),
+            t_min=period,
         )
-    period, labels = _refine_exact(graph, wd, period, labels, lower, checker)
+    log.debug(
+        "min-period search on %s: T_min=%.4f over %d candidates",
+        graph.name,
+        period,
+        len(candidates),
+    )
 
     labels = normalise_labels(graph, {v: labels.get(v, 0) for v in graph.units()})
     retimed = graph.retimed(labels)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import logging
 import random
 import zlib
 from typing import Dict, List, Sequence, Set, Tuple
@@ -19,8 +20,11 @@ from typing import Dict, List, Sequence, Set, Tuple
 from repro.errors import RoutingError
 from repro.floorplan.plan import Floorplan
 from repro.netlist.graph import CircuitGraph
+from repro.obs import NOOP_TRACER
 from repro.route.steiner import steiner_tree, tree_paths
 from repro.tiles.grid import CHANNEL, HARD, SOFT, Cell, TileGrid
+
+log = logging.getLogger(__name__)
 
 #: Routing track capacity of one lattice cell, by region kind.
 TRACKS = {CHANNEL: 12, SOFT: 6, HARD: 3}
@@ -205,28 +209,56 @@ class GlobalRouter:
             c for c, use in self.usage.items() if use > self.track_capacity(c)
         ]
 
-    def route(self, nets: Sequence[Net], rrr_passes: int = 2) -> Dict[str, RoutedNet]:
-        """Route all nets, then rip-up & re-route congested ones."""
-        routed: Dict[str, RoutedNet] = {}
-        for net in nets:
-            result = self._embed_net(net)
-            self._commit(result, +1)
-            routed[net.name] = result
+    def route(
+        self, nets: Sequence[Net], rrr_passes: int = 2, tracer=None
+    ) -> Dict[str, RoutedNet]:
+        """Route all nets, then rip-up & re-route congested ones.
 
-        for _ in range(rrr_passes):
-            hot = set(self.overflowed_cells())
-            if not hot:
-                break
-            for cell in hot:
-                self.history[cell] = self.history.get(cell, 0.0) + 1.0
-            victims = [
-                name for name, r in routed.items() if r.cells & hot
-            ]
-            for name in victims:
-                self._commit(routed[name], -1)
-                result = self._embed_net(routed[name].net)
+        ``tracer`` records the run as a ``route/global`` span: net and
+        wirelength totals, the congestion summary, and one ``rrr_pass``
+        event per rip-up & re-route pass (hot cells, ripped nets).
+        """
+        if tracer is None:
+            tracer = NOOP_TRACER
+        with tracer.span("route/global", nets=len(nets)) as span:
+            routed: Dict[str, RoutedNet] = {}
+            for net in nets:
+                result = self._embed_net(net)
                 self._commit(result, +1)
-                routed[name] = result
+                routed[net.name] = result
+
+            for rrr in range(1, rrr_passes + 1):
+                hot = set(self.overflowed_cells())
+                if not hot:
+                    break
+                for cell in hot:
+                    self.history[cell] = self.history.get(cell, 0.0) + 1.0
+                victims = [
+                    name for name, r in routed.items() if r.cells & hot
+                ]
+                span.event(
+                    "rrr_pass",
+                    index=rrr,
+                    hot_cells=len(hot),
+                    ripped_nets=len(victims),
+                )
+                log.debug(
+                    "rip-up & re-route pass %d: %d hot cells, %d nets",
+                    rrr,
+                    len(hot),
+                    len(victims),
+                )
+                for name in victims:
+                    self._commit(routed[name], -1)
+                    result = self._embed_net(routed[name].net)
+                    self._commit(result, +1)
+                    routed[name] = result
+            span.set(
+                wirelength_tiles=sum(
+                    r.wirelength_tiles for r in routed.values()
+                ),
+                **self.congestion_summary(),
+            )
         return routed
 
     def congestion_summary(self) -> Dict[str, float]:

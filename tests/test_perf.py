@@ -76,6 +76,78 @@ class TestPerfRecorder:
         assert "retime/lac" in names
         assert perf.total_seconds > 0.0
 
+    def test_planner_stages_counted_exactly_once(self):
+        """Dedupe regression: the planner ingests timing through spans
+        only — each stage must appear with exactly the call count of
+        its actual executions, never doubled by a second ingest route."""
+        from repro.core.planner import plan_interconnect
+        from repro.netlist import s27_graph
+
+        perf = PerfRecorder()
+        outcome = plan_interconnect(
+            s27_graph(),
+            seed=1,
+            whitespace=0.4,
+            max_iterations=1,
+            floorplan_iterations=60,
+            perf=perf,
+        )
+        calls = {t.name: t.calls for t in perf.stages}
+        assert calls["partition"] == 1
+        assert calls["floorplan"] == 1
+        for stage in ("tiles", "route", "repeater", "expand", "wd",
+                      "clock_period", "min_period", "retime"):
+            assert calls[f"iteration 1 · {stage}"] == 1
+        assert calls["retime/constraints"] == 1
+        assert calls["retime/min_area"] == 1
+        assert calls["retime/lac"] == 1
+        # one timing per weighted min-area round, exactly
+        assert calls["retime/lac/rounds"] == outcome.final.lac.n_wr
+
+    def test_ingest_spans_skips_structural_spans(self):
+        class FakeSpan:
+            def __init__(self, name, attrs, elapsed):
+                self.name = name
+                self.attrs = attrs
+                self.elapsed = elapsed
+
+        perf = PerfRecorder()
+        perf.ingest_spans(
+            [
+                FakeSpan("plan", {}, 9.0),
+                FakeSpan("iteration", {"index": 1}, 8.0),
+                FakeSpan("route", {"kind": "stage", "scope": "iteration 1"}, 1.0),
+                FakeSpan("feas/probe", {"t": 2.0}, 0.5),
+                FakeSpan("lac/round", {"round": 1}, 0.25),
+            ]
+        )
+        names = {t.name for t in perf.stages}
+        assert names == {"iteration 1 · route", "retime/lac/rounds"}
+
+    def test_span_and_ledger_routes_agree_on_stage_names(self):
+        """ingest_spans and ingest_outcome are alternative routes over
+        the same run; they must produce the same stage-name set."""
+        from repro.core.planner import plan_interconnect
+        from repro.netlist import s27_graph
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        outcome = plan_interconnect(
+            s27_graph(),
+            seed=1,
+            whitespace=0.4,
+            max_iterations=1,
+            floorplan_iterations=60,
+            tracer=tracer,
+        )
+        via_spans = PerfRecorder()
+        via_spans.ingest_spans(tracer.spans)
+        via_ledger = PerfRecorder()
+        via_ledger.ingest_outcome(outcome)
+        assert {t.name for t in via_spans.stages} == {
+            t.name for t in via_ledger.stages
+        }
+
 
 class TestBenchNumbering:
     def test_next_path_starts_at_zero(self, tmp_path):
