@@ -17,6 +17,13 @@ Commands:
 
 ``-v`` / ``-vv`` (before the command) turn on INFO / DEBUG logging on
 stderr; the library itself never configures logging handlers.
+
+Exit codes (``plan`` and ``table1``): ``0`` success, ``1`` completed
+but unsatisfied (not converged / all circuits failed), ``2`` usage or
+flow error, ``3`` target period infeasible (``plan``), ``4``
+interrupted by SIGINT/SIGTERM — durable progress (checkpoints, trace)
+is flushed and the run is resumable with ``--resume`` when a
+``--checkpoint-dir`` was given.
 """
 
 from __future__ import annotations
@@ -25,22 +32,26 @@ import argparse
 import logging
 import sys
 
-
-#: ``plan`` exit codes: 0 converged, 1 not converged, 2 usage/flow
-#: error, 3 target period infeasible.
-EXIT_OK = 0
-EXIT_NOT_CONVERGED = 1
-EXIT_ERROR = 2
-EXIT_INFEASIBLE = 3
+from repro.cliutil import (
+    EXIT_ERROR,
+    EXIT_INFEASIBLE,
+    EXIT_INTERRUPTED,
+    EXIT_NOT_CONVERGED,
+    EXIT_OK,
+    install_interrupt_handlers,
+)
 
 
 def _cmd_plan(args) -> int:
     from repro.core import plan_interconnect
-    from repro.errors import ReproError
+    from repro.errors import InterruptedRunError, ReproError
     from repro.experiments import get_circuit
     from repro.netlist import s27_graph
-    from repro.resilience import default_resilience
+    from repro.resilience import CheckpointManager, default_resilience
 
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return EXIT_ERROR
     if args.circuit == "s27":
         graph = s27_graph()
         seed, whitespace = 1, 0.4
@@ -69,6 +80,12 @@ def _cmd_plan(args) -> int:
         overrides["floorplan_iterations"] = 300
         iterations = 1
 
+    checkpoint = (
+        CheckpointManager(args.checkpoint_dir, resume=args.resume)
+        if args.checkpoint_dir
+        else None
+    )
+    install_interrupt_handlers()
     try:
         outcome = plan_interconnect(
             graph,
@@ -77,8 +94,23 @@ def _cmd_plan(args) -> int:
             max_iterations=iterations,
             resilience=resilience,
             trace_path=args.trace,
+            checkpoint=checkpoint,
             **overrides,
         )
+    except InterruptedRunError as exc:
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        hint = (
+            f"; rerun with --checkpoint-dir {args.checkpoint_dir} --resume "
+            "to continue"
+            if args.checkpoint_dir
+            else ""
+        )
+        print(
+            f"planning {args.circuit} interrupted ({exc}){hint}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         if args.trace:
             print(f"trace written to {args.trace}", file=sys.stderr)
@@ -114,6 +146,10 @@ def _cmd_table1(args) -> int:
         argv += ["--jobs", str(args.jobs)]
     for fault in args.inject_fault:
         argv += ["--inject-fault", fault]
+    if args.checkpoint_dir:
+        argv += ["--checkpoint-dir", args.checkpoint_dir]
+    if args.resume:
+        argv.append("--resume")
     return table1_main(argv)
 
 
@@ -226,6 +262,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="mark infeasible T_clk iterations instead of relaxing the period",
     )
+    p_plan.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist stage-boundary checkpoints (repro-ckpt/1) under DIR; "
+        "an interrupted run exits 4 and is resumable with --resume",
+    )
+    p_plan.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed stages from --checkpoint-dir instead of "
+        "recomputing them (bit-identical to an uninterrupted run)",
+    )
     p_plan.set_defaults(func=_cmd_plan)
 
     p_table = sub.add_parser(
@@ -248,6 +297,19 @@ def main(argv=None) -> int:
         default=[],
         metavar="CIRCUIT:STAGE",
         help="deterministically fail STAGE for CIRCUIT (testing harness)",
+    )
+    p_table.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist per-circuit checkpoints under DIR; an interrupted "
+        "batch exits 4 (interrupted, resumable) instead of a generic error",
+    )
+    p_table.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip circuits already completed in --checkpoint-dir, resume "
+        "partial ones",
     )
     p_table.set_defaults(func=_cmd_table1)
 

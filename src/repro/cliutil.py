@@ -1,0 +1,51 @@
+"""Shared CLI plumbing: exit codes and interrupt handling.
+
+Both ``python -m repro`` and the standalone harness entry points
+(``python -m repro.experiments.table1``) speak the same exit-code
+contract:
+
+* ``0`` — success (``plan``: converged; ``table1``: >= 1 circuit ok);
+* ``1`` — completed but unsatisfied (not converged / every circuit
+  failed);
+* ``2`` — usage or flow error;
+* ``3`` — target period infeasible (``plan`` only);
+* ``4`` — interrupted by SIGINT/SIGTERM, progress checkpointed where a
+  checkpoint directory was given; rerun with ``--resume`` to continue.
+
+:func:`install_interrupt_handlers` converts SIGINT/SIGTERM into
+:class:`~repro.errors.InterruptedRunError`, so ``finally`` blocks run
+on the way out — the in-flight trace is flushed and committed
+checkpoints stay durable — and the command exits with
+:data:`EXIT_INTERRUPTED` instead of dying mid-write.
+"""
+
+from __future__ import annotations
+
+import signal
+
+from repro.errors import InterruptedRunError
+
+EXIT_OK = 0
+EXIT_NOT_CONVERGED = 1
+EXIT_ERROR = 2
+EXIT_INFEASIBLE = 3
+EXIT_INTERRUPTED = 4
+
+
+def install_interrupt_handlers() -> None:
+    """Route SIGINT/SIGTERM through :class:`InterruptedRunError`.
+
+    Best-effort: silently a no-op when not on the main thread or on
+    platforms without the signal (the default behaviour then applies).
+    """
+
+    def _handler(signum, frame):
+        raise InterruptedRunError(signum)
+
+    for sig in (signal.SIGINT, getattr(signal, "SIGTERM", None)):
+        if sig is None:
+            continue
+        try:
+            signal.signal(sig, _handler)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass

@@ -27,6 +27,14 @@ stages, optional wall-clock deadlines, fallback chains such as the
 ``T_init`` and the iteration is marked ``degraded`` instead of being
 abandoned. The full attempt history lands in the outcome's
 :class:`~repro.resilience.ledger.RunLedger`.
+
+With a :class:`~repro.resilience.checkpoint.CheckpointManager`
+attached, every successful stage result is additionally persisted at
+the stage boundary, so a killed run resumed with ``resume=True``
+restores the completed prefix — including mid-iteration state such as
+the retiming labels of a finished ``retime`` stage — and recomputes
+only what was in flight; the flow is deterministic given its seeds, so
+the resumed outcome is bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -45,6 +53,10 @@ from repro.obs import NOOP_TRACER, Tracer
 from repro.obs.export import write_trace
 from repro.partition.multiway import Partition, default_block_count, partition_graph
 from repro.repeater.insertion import buffer_routed_nets
+from repro.resilience.checkpoint import (
+    OUTCOME_KEY as CKPT_OUTCOME_KEY,
+    run_fingerprint,
+)
 from repro.resilience.degrade import find_relaxed_period
 from repro.resilience.faults import FaultInjector
 from repro.resilience.ledger import RunLedger
@@ -347,12 +359,17 @@ def _run_iteration_stages(
             n_connections=len(buffered),
             n_repeaters=sum(c.n_repeaters for c in buffered.values()),
         )
-        return buffered
+        # Both backends reserve repeater area from the grid in place,
+        # and downstream area reports read that reservation. The grid
+        # rides along in the stage value so a checkpoint of this stage
+        # captures the mutation — a resumed run that restores the
+        # repeater stage restores the post-reservation grid with it.
+        return buffered, grid
 
     if config.repeater_backend == "tree":
         from repro.repeater.vanginneken import buffer_routed_nets_tree
 
-        buffered = runner.run(
+        buffered, grid = runner.run(
             "repeater",
             lambda _a: _annotate_repeaters(
                 buffer_routed_nets_tree(routed, grid, config.tech)
@@ -367,7 +384,7 @@ def _run_iteration_stages(
             ],
         )
     elif config.repeater_backend == "path":
-        buffered = runner.run(
+        buffered, grid = runner.run(
             "repeater",
             lambda _a: _annotate_repeaters(
                 buffer_routed_nets(routed, grid, config.tech)
@@ -558,6 +575,7 @@ def plan_interconnect(
     faults: Optional[FaultInjector] = None,
     perf=None,
     tracer=None,
+    checkpoint=None,
     **overrides,
 ) -> PlanningOutcome:
     """Run the full interconnect-planning flow on a circuit.
@@ -569,6 +587,16 @@ def plan_interconnect(
     the stochastic stages a retry and degrades infeasible periods);
     ``faults`` optionally injects deterministic failures/delays for
     testing the recovery paths.
+
+    Durability: ``checkpoint`` (a
+    :class:`~repro.resilience.checkpoint.CheckpointManager`) persists
+    every successful stage result — and the finished outcome — to
+    disk; a manager created with ``resume=True`` restores them, so an
+    interrupted run picks up at the last completed stage and a
+    finished run returns its outcome without recomputing anything.
+    The manager is bound here to the circuit and the run fingerprint
+    (graph + config + ``max_iterations``), so checkpoints from a
+    different run can never be resumed silently.
 
     Observability: ``tracer`` (a :class:`repro.obs.Tracer`) receives
     the run's span tree — stages, iterations, LAC rounds, FEAS probes.
@@ -594,9 +622,18 @@ def plan_interconnect(
         else:
             tracer = NOOP_TRACER
 
+    if checkpoint is not None:
+        checkpoint.bind(
+            graph.name, run_fingerprint(graph, config, max_iterations)
+        )
+        if checkpoint.faults is None:
+            checkpoint.faults = faults
+
     resilience = config.resilience or default_resilience()
     ledger = RunLedger()
-    runner = StageRunner(resilience, ledger, faults=faults, tracer=tracer)
+    runner = StageRunner(
+        resilience, ledger, faults=faults, tracer=tracer, checkpoint=checkpoint
+    )
 
     hosts = set(graph.host_units())
     n_units = graph.num_units - len(hosts)
@@ -617,9 +654,25 @@ def plan_interconnect(
             n_blocks=n_blocks,
             max_iterations=max_iterations,
         ) as plan_span:
-            outcome = _plan_stages(
-                graph, config, max_iterations, runner, n_blocks, ledger
-            )
+            outcome = None
+            if checkpoint is not None:
+                outcome = checkpoint.restore_outcome()
+                if outcome is not None:
+                    log.info(
+                        "planning %s: completed outcome restored from "
+                        "checkpoint",
+                        graph.name,
+                    )
+                    plan_span.set(resumed=True)
+                    plan_span.event(
+                        "resumed_from", checkpoint=CKPT_OUTCOME_KEY
+                    )
+            if outcome is None:
+                outcome = _plan_stages(
+                    graph, config, max_iterations, runner, n_blocks, ledger
+                )
+                if checkpoint is not None:
+                    checkpoint.commit_outcome(outcome)
             plan_span.set(
                 converged=outcome.converged,
                 degraded=outcome.degraded,

@@ -1,7 +1,11 @@
 """Exception hierarchy for the repro library.
 
 All library-specific failures derive from :class:`ReproError` so callers
-can catch one base class at flow boundaries.
+can catch one base class at flow boundaries. The one deliberate
+exception is :class:`InterruptedRunError`, which derives from
+:class:`KeyboardInterrupt` so that fault-isolation layers catching
+``ReproError`` (batch runners, workers) never swallow a shutdown
+request.
 """
 
 
@@ -35,6 +39,30 @@ class InfeasiblePeriodError(RetimingError):
     def __init__(self, period, message=None):
         self.period = period
         super().__init__(message or f"no retiming achieves clock period {period}")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint store could not be created, written, or bound."""
+
+
+class InterruptedRunError(KeyboardInterrupt):
+    """A run was interrupted by SIGINT/SIGTERM (or a simulated kill).
+
+    Deliberately *not* a :class:`ReproError`: per-item fault isolation
+    catches ``ReproError``, and an interrupt must stop the whole run,
+    not be recorded as one failed circuit. The CLI converts it to the
+    "interrupted, resumable" exit code (4).
+    """
+
+    def __init__(self, signum=None, message=None):
+        self.signum = signum
+        if message is None:
+            message = (
+                f"interrupted by signal {signum}"
+                if signum is not None
+                else "run interrupted"
+            )
+        super().__init__(message)
 
 
 class FloorplanError(ReproError):

@@ -25,9 +25,10 @@ from typing import Callable, List, Mapping, Optional, Sequence
 import time
 
 from repro.core.planner import PlanningOutcome, plan_interconnect
-from repro.errors import ReproError
+from repro.errors import InterruptedRunError, ReproError
 from repro.experiments.circuits import TABLE1_CIRCUITS, CircuitSpec
 from repro.resilience.batch import BatchItem, BatchResult, run_batch
+from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.faults import FaultInjector
 
 
@@ -92,9 +93,23 @@ def run_circuit(
     spec: CircuitSpec,
     max_iterations: int = 2,
     faults: Optional[FaultInjector] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
     **plan_overrides,
 ) -> Table1Row:
-    """Run the planning flow for one benchmark circuit."""
+    """Run the planning flow for one benchmark circuit.
+
+    With ``checkpoint_dir`` set, stage progress is persisted under
+    ``<checkpoint_dir>/<circuit>/``; with ``resume`` additionally set,
+    a circuit whose outcome was already committed is returned without
+    recomputation and a partially-planned circuit picks up at its last
+    completed stage.
+    """
+    checkpoint = (
+        CheckpointManager(checkpoint_dir, resume=resume)
+        if checkpoint_dir is not None
+        else None
+    )
     outcome = plan_interconnect(
         spec.build(),
         seed=spec.seed,
@@ -102,6 +117,7 @@ def run_circuit(
         whitespace=spec.whitespace,
         n_blocks=spec.n_blocks,
         faults=faults,
+        checkpoint=checkpoint,
         **plan_overrides,
     )
     return Table1Row.from_outcome(outcome)
@@ -149,11 +165,16 @@ def _run_circuit_item(payload) -> BatchItem:
     ``InfeasiblePeriodError(period, detail)``) do not round-trip
     through pickle as raised exceptions.
     """
-    spec, max_iterations, faults, overrides = payload
+    spec, max_iterations, faults, overrides, checkpoint_dir, resume = payload
     start = time.perf_counter()
     try:
         row = run_circuit(
-            spec, max_iterations=max_iterations, faults=faults, **overrides
+            spec,
+            max_iterations=max_iterations,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            **overrides,
         )
     except ReproError as exc:
         return BatchItem(
@@ -179,6 +200,8 @@ def run_table1_resilient(
     ] = None,
     plan_overrides: Optional[Mapping[str, object]] = None,
     jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> BatchResult:
     """Fault-isolated Table-1 run: one bad circuit cannot kill the batch.
 
@@ -193,6 +216,13 @@ def run_table1_resilient(
     except the wall-clock ``seconds``/``ma_seconds``/``lac_seconds``)
     is identical to a serial run; per-circuit fault isolation carries
     over because workers flatten ``ReproError`` themselves.
+
+    ``checkpoint_dir``/``resume`` give the batch durable progress:
+    each circuit checkpoints under its own subdirectory (safe with
+    ``jobs > 1`` — workers never share files), and a resumed batch
+    skips already-completed circuits via their committed outcomes. An
+    interrupt (:class:`~repro.errors.InterruptedRunError`) stops the
+    batch and returns the partial result with ``interrupted`` set.
     """
     specs = list(circuits if circuits is not None else TABLE1_CIRCUITS)
     overrides = dict(plan_overrides or {})
@@ -217,26 +247,42 @@ def run_table1_resilient(
                 max_iterations,
                 faults_for(spec.name) if faults_for is not None else None,
                 overrides,
+                checkpoint_dir,
+                resume,
             )
             for spec in specs
         ]
         batch = BatchResult()
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(specs)), initializer=_worker_init
-        ) as pool:
-            futures = [pool.submit(_run_circuit_item, p) for p in payloads]
+        )
+        futures = [pool.submit(_run_circuit_item, p) for p in payloads]
+        try:
             # Submission order, not completion order: the table reads
             # identically however the workers interleave.
             for future in futures:
                 item = future.result()
                 batch.items.append(item)
                 _progress(item)
+        except InterruptedRunError:
+            # Stop handing out work; circuits already in flight finish
+            # in their workers (their checkpoints stay usable) and the
+            # partial batch is returned as interrupted/resumable.
+            batch.interrupted = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            return batch
+        pool.shutdown(wait=True)
         return batch
 
     def _thunk(spec: CircuitSpec):
         faults = faults_for(spec.name) if faults_for is not None else None
         return lambda: run_circuit(
-            spec, max_iterations=max_iterations, faults=faults, **overrides
+            spec,
+            max_iterations=max_iterations,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            **overrides,
         )
 
     return run_batch(
@@ -343,11 +389,15 @@ def main(argv=None) -> int:
 
     Circuits are fault-isolated: a failing circuit is reported as
     FAILED in a partial table, and the exit status is nonzero only
-    when *every* circuit fails.
+    when *every* circuit fails. An interrupted batch (SIGINT/SIGTERM)
+    prints the partial table and exits with code 4 ("interrupted,
+    resumable"); with ``--checkpoint-dir`` the completed circuits are
+    on disk and ``--resume`` picks up where the batch stopped.
     """
     import argparse
     import sys
 
+    from repro.cliutil import EXIT_INTERRUPTED, install_interrupt_handlers
     from repro.experiments.circuits import TABLE1_CIRCUITS, get_circuit
 
     parser = argparse.ArgumentParser(prog="python -m repro.experiments.table1")
@@ -372,9 +422,25 @@ def main(argv=None) -> int:
         help="deterministically fail every attempt of STAGE for CIRCUIT "
         "(fault-injection harness; repeatable)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist per-circuit stage checkpoints under DIR "
+        "(crash-safe; see --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip circuits already completed in --checkpoint-dir and "
+        "resume partially-planned ones at their last finished stage",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
 
     try:
@@ -389,6 +455,7 @@ def main(argv=None) -> int:
     overrides = (
         {"floorplan_iterations": 300} if args.quick else None
     )
+    install_interrupt_handlers()
     batch = run_table1_resilient(
         specs,
         max_iterations=1 if args.quick else 2,
@@ -396,9 +463,24 @@ def main(argv=None) -> int:
         faults_for=_parse_fault_args(args.inject_fault),
         plan_overrides=overrides,
         jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     print()
     print(format_batch(batch))
+    if batch.interrupted:
+        hint = (
+            f"; rerun with --checkpoint-dir {args.checkpoint_dir} --resume "
+            "to continue"
+            if args.checkpoint_dir
+            else ""
+        )
+        print(
+            f"interrupted after {len(batch.items)} of {len(specs)} "
+            f"circuits{hint}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return batch.exit_code
 
 

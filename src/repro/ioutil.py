@@ -1,0 +1,63 @@
+"""Durable file I/O helpers shared by every on-disk artifact writer.
+
+Traces, bench documents, graph JSON and checkpoints are all written
+through :func:`atomic_write`: the bytes land in a temporary file in the
+*same directory*, are flushed and fsynced, and only then renamed over
+the destination with :func:`os.replace`. A crash — or a SIGKILL — at
+any point leaves either the old file or the new file, never a
+truncated hybrid. (``os.replace`` is atomic on POSIX and on Windows;
+the same-directory requirement keeps the rename on one filesystem.)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Best-effort fsync of a directory, making renames in it durable.
+
+    Silently a no-op where directories cannot be opened for reading
+    (e.g. Windows); the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: Union[str, Path], data: Union[bytes, str]) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + replace).
+
+    ``str`` data is encoded as UTF-8. Parent directories are created
+    as needed. On any failure the temporary file is removed and the
+    destination is left untouched. Returns ``path`` as a
+    :class:`~pathlib.Path`.
+    """
+    path = Path(path)
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+    return path

@@ -21,6 +21,7 @@ import json
 from typing import Any, Dict
 
 from repro.errors import NetlistError
+from repro.ioutil import atomic_write
 from repro.netlist.graph import CircuitGraph
 
 
@@ -64,12 +65,37 @@ def graph_from_dict(data: Dict[str, Any]) -> CircuitGraph:
 
 
 def save_graph(graph: CircuitGraph, path: str) -> None:
-    """Write a graph to ``path`` as JSON."""
-    with open(path, "w") as f:
-        json.dump(graph_to_dict(graph), f, indent=1)
+    """Write a graph to ``path`` as JSON (atomically: a kill mid-write
+    leaves the previous file, never a truncated one)."""
+    atomic_write(path, json.dumps(graph_to_dict(graph), indent=1))
 
 
 def load_graph(path: str) -> CircuitGraph:
-    """Read a graph written by :func:`save_graph`."""
-    with open(path) as f:
-        return graph_from_dict(json.load(f))
+    """Read a graph written by :func:`save_graph`.
+
+    Raises:
+        NetlistError: The file is unreadable, not valid JSON
+            (truncated or garbled), not a JSON object, or missing
+            required fields — always naming the file and the problem,
+            never leaking a raw ``JSONDecodeError``/``KeyError``.
+    """
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as exc:
+        raise NetlistError(f"cannot read circuit JSON {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise NetlistError(
+            f"{path}: not valid JSON (truncated or garbled file?): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise NetlistError(
+            f"{path}: expected a JSON object with units/connections, "
+            f"got {type(data).__name__}"
+        )
+    try:
+        return graph_from_dict(data)
+    except NetlistError as exc:
+        raise NetlistError(f"{path}: {exc}") from exc

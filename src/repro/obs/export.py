@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
+from repro.ioutil import atomic_write
 
 TRACE_SCHEMA = "repro-trace/1"
 
@@ -129,12 +130,13 @@ def trace_lines(tracer) -> Iterator[str]:
 
 
 def write_trace(tracer, path: Union[str, Path]) -> Path:
-    """Write the tracer's spans to ``path``; returns the path."""
-    path = Path(path)
-    if path.parent != Path(""):
-        path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text("\n".join(trace_lines(tracer)) + "\n")
-    return path
+    """Write the tracer's spans to ``path``; returns the path.
+
+    The write is atomic (tmp + fsync + replace): a kill mid-export —
+    exactly when post-mortem traces matter most — never leaves a
+    truncated JSONL behind.
+    """
+    return atomic_write(path, "\n".join(trace_lines(tracer)) + "\n")
 
 
 # ----------------------------------------------------------------------

@@ -57,6 +57,7 @@ from repro.experiments.circuits import (
     CircuitSpec,
     get_circuit,
 )
+from repro.ioutil import atomic_write
 from repro.perf.recorder import PerfRecorder
 
 BENCH_SCHEMA = "repro-bench/2"
@@ -188,11 +189,14 @@ def next_bench_path(out_dir: Path) -> Path:
 
 
 def write_bench(doc: Dict[str, object], out_dir: Path) -> Path:
-    """Write ``doc`` to the next free ``BENCH_<n>.json``; returns it."""
+    """Write ``doc`` to the next free ``BENCH_<n>.json``; returns it.
+
+    Atomic (tmp + fsync + replace): a kill mid-write cannot leave a
+    truncated BENCH file for later comparisons to choke on.
+    """
     out_dir.mkdir(parents=True, exist_ok=True)
     path = next_bench_path(out_dir)
-    path.write_text(json.dumps(doc, indent=2) + "\n")
-    return path
+    return atomic_write(path, json.dumps(doc, indent=2) + "\n")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

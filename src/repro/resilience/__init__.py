@@ -14,14 +14,28 @@ every stage survivable:
 * :mod:`repro.resilience.degrade` — graceful ``T_clk`` degradation
   (binary search for the closest achievable period);
 * :mod:`repro.resilience.faults` — a deterministic fault-injection
-  harness so every recovery path is testable in CI;
+  harness (stage failures, delays, simulated kills, checkpoint
+  corruption) so every recovery path is testable in CI;
 * :mod:`repro.resilience.batch` — a fault-isolated batch runner used
-  by the Table-1 harness and the CLI.
+  by the Table-1 harness and the CLI;
+* :mod:`repro.resilience.checkpoint` — crash-safe, versioned
+  stage-boundary checkpoints (schema ``repro-ckpt/1``) with atomic
+  writes, checksum/fingerprint validation, and quarantine of corrupt
+  files, powering ``plan --checkpoint-dir``/``--resume``.
+
+:func:`repro.ioutil.atomic_write` (re-exported here) is the shared
+durable-write primitive every on-disk artifact goes through.
 """
 
+from repro.ioutil import atomic_write
 from repro.resilience.batch import BatchItem, BatchResult, run_batch
+from repro.resilience.checkpoint import (
+    CKPT_SCHEMA,
+    CheckpointManager,
+    run_fingerprint,
+)
 from repro.resilience.degrade import find_relaxed_period
-from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.resilience.faults import CheckpointFault, FaultInjector, FaultSpec
 from repro.resilience.ledger import RunLedger, StageAttempt, StageRecord
 from repro.resilience.policy import (
     ResilienceConfig,
@@ -31,10 +45,15 @@ from repro.resilience.policy import (
 from repro.resilience.runner import StageRunner
 
 __all__ = [
+    "atomic_write",
     "BatchItem",
     "BatchResult",
     "run_batch",
+    "CKPT_SCHEMA",
+    "CheckpointManager",
+    "run_fingerprint",
     "find_relaxed_period",
+    "CheckpointFault",
     "FaultInjector",
     "FaultSpec",
     "RunLedger",

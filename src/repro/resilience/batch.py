@@ -5,6 +5,12 @@
 circuit cannot kill a whole Table-1 regeneration. The result records
 per-item status, error text, and timing; ``exit_code`` is nonzero only
 when *every* item failed — a partial table is a success.
+
+A SIGINT/SIGTERM delivered through the CLI's handlers arrives as
+:class:`~repro.errors.InterruptedRunError`; the batch stops, keeps the
+items already finished, and marks the result ``interrupted`` so the
+driver can print the partial table and exit with the "interrupted,
+resumable" code instead of a generic failure.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import dataclasses
 import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
 
-from repro.errors import ReproError
+from repro.errors import InterruptedRunError, ReproError
 
 
 @dataclasses.dataclass
@@ -36,6 +42,7 @@ class BatchResult:
     """All items of one batch run."""
 
     items: List[BatchItem] = dataclasses.field(default_factory=list)
+    interrupted: bool = False  # stopped by SIGINT/SIGTERM; resumable
 
     @property
     def n_ok(self) -> int:
@@ -63,6 +70,8 @@ class BatchResult:
 
     def summary(self) -> str:
         parts = [f"{self.n_ok}/{len(self.items)} circuits ok"]
+        if self.interrupted:
+            parts.append("interrupted (resumable)")
         for item in self.failed:
             parts.append(f"{item.name} FAILED ({item.error})")
         return "; ".join(parts)
@@ -75,15 +84,22 @@ def run_batch(
 ) -> BatchResult:
     """Run ``(name, thunk)`` items, isolating ``catch`` failures.
 
-    Exceptions outside ``catch`` (genuine bugs, ``KeyboardInterrupt``)
-    propagate immediately. ``on_item`` is called after each item —
-    batch drivers use it for progress output.
+    Exceptions outside ``catch`` (genuine bugs, a plain
+    ``KeyboardInterrupt``) propagate immediately; an
+    :class:`~repro.errors.InterruptedRunError` stops the batch but
+    returns the partial result with ``interrupted`` set — the item in
+    flight is not recorded (its checkpoints, if any, make it
+    resumable). ``on_item`` is called after each item — batch drivers
+    use it for progress output.
     """
     batch = BatchResult()
     for name, thunk in work:
         start = time.perf_counter()
         try:
             result = thunk()
+        except InterruptedRunError:
+            batch.interrupted = True
+            return batch
         except catch as exc:
             item = BatchItem(
                 name=name,

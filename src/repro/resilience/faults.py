@@ -15,15 +15,35 @@ attempt by 50 ms::
         FaultSpec("route", on_call=2, delay=0.05),
     ])
     plan_interconnect(graph, faults=faults)
+
+The stage name ``"*"`` matches *any* stage, counted across the whole
+run — ``FaultSpec("*", on_call=5, error=InterruptedRunError)``
+simulates a process kill at the fifth stage boundary, which is how
+the checkpoint/resume equivalence tests sweep every kill point.
+
+Checkpoint recovery has its own fault family: a
+:class:`CheckpointFault` fires on checkpoint *commit* and corrupts the
+just-written file — truncation, a flipped payload bit, or a stale
+fingerprint — so the quarantine-and-recompute path in
+:mod:`repro.resilience.checkpoint` is testable end to end.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import PlanningError
+
+#: Stage name matching every stage (global call counting).
+ANY_STAGE = "*"
+
+#: Legal :class:`CheckpointFault` kinds.
+CORRUPTION_KINDS = ("truncate", "bitflip", "stale_fingerprint")
 
 ErrorLike = Union[BaseException, type, Callable[[], BaseException]]
 
@@ -66,31 +86,119 @@ class FaultSpec:
         return call_index == self.on_call
 
 
+@dataclasses.dataclass
+class CheckpointFault:
+    """One armed checkpoint corruption, fired after a commit.
+
+    Attributes:
+        kind: ``"truncate"`` (cut the file in half), ``"bitflip"``
+            (flip one bit of the payload), or ``"stale_fingerprint"``
+            (rewrite the header fingerprint to a different run's).
+        key: Checkpoint-key filter — fires when this substring occurs
+            in the committed key (``"*"`` matches every key).
+        on_commit: 1-based index among *matching* commits at which the
+            fault fires.
+        repeat: Fire on every matching commit >= ``on_commit``.
+    """
+
+    kind: str
+    key: str = ANY_STAGE
+    on_commit: int = 1
+    repeat: bool = False
+    _seen: int = dataclasses.field(default=0, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"unknown checkpoint corruption kind {self.kind!r} "
+                f"(expected one of {', '.join(CORRUPTION_KINDS)})"
+            )
+
+    def matches(self, key: str) -> bool:
+        return self.key == ANY_STAGE or self.key in key
+
+    def fires(self, seen: int) -> bool:
+        if self.repeat:
+            return seen >= self.on_commit
+        return seen == self.on_commit
+
+
+def _corrupt_file(path: Path, kind: str) -> None:
+    """Apply one corruption kind to a ``repro-ckpt/1`` file in place."""
+    data = path.read_bytes()
+    if kind == "truncate":
+        path.write_bytes(data[: max(1, len(data) // 2)])
+        return
+    if kind == "bitflip":
+        # The last byte is deep in the pickle payload, so the header
+        # still parses and the sha256 check is what must catch this.
+        flipped = bytearray(data)
+        flipped[-1] ^= 0x01
+        path.write_bytes(bytes(flipped))
+        return
+    # stale_fingerprint: keep the payload (and its valid checksum) but
+    # claim it came from a different graph/config.
+    newline = data.find(b"\n")
+    header = json.loads(data[:newline].decode("utf-8"))
+    header["fingerprint"] = hashlib.sha256(b"stale").hexdigest()
+    path.write_bytes(
+        json.dumps(header, sort_keys=True).encode("utf-8")
+        + data[newline:]
+    )
+
+
 class FaultInjector:
     """Counts stage calls and fires armed :class:`FaultSpec` entries."""
 
-    def __init__(self, specs: Sequence[FaultSpec] = ()):
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec] = (),
+        checkpoint_faults: Sequence[CheckpointFault] = (),
+    ):
         self.specs: List[FaultSpec] = list(specs)
+        self.checkpoint_faults: List[CheckpointFault] = list(checkpoint_faults)
         self._calls: Dict[str, int] = {}
+        self._total_calls = 0
 
-    def arm(self, spec: FaultSpec) -> "FaultInjector":
-        self.specs.append(spec)
+    def arm(
+        self, spec: Union[FaultSpec, CheckpointFault]
+    ) -> "FaultInjector":
+        if isinstance(spec, CheckpointFault):
+            self.checkpoint_faults.append(spec)
+        else:
+            self.specs.append(spec)
         return self
 
     def calls(self, stage: str) -> int:
         """How many times ``stage`` has been entered so far."""
+        if stage == ANY_STAGE:
+            return self._total_calls
         return self._calls.get(stage, 0)
 
     def on_call(self, stage: str) -> None:
         """Stage-entry hook; fires any spec armed for this call."""
         index = self._calls.get(stage, 0) + 1
         self._calls[stage] = index
+        self._total_calls += 1
         for spec in self.specs:
-            if spec.stage == stage and spec.fires(index):
+            if spec.stage == ANY_STAGE:
+                fires = spec.fires(self._total_calls)
+            else:
+                fires = spec.stage == stage and spec.fires(index)
+            if fires:
                 if spec.delay > 0:
                     time.sleep(spec.delay)
                 if spec.error is not None:
                     raise _make_error(spec.error, stage)
+
+    def on_checkpoint_commit(self, key: str, path) -> None:
+        """Checkpoint-commit hook; corrupts the file when a fault fires."""
+        for fault in self.checkpoint_faults:
+            if not fault.matches(key):
+                continue
+            fault._seen += 1
+            if fault.fires(fault._seen):
+                _corrupt_file(Path(path), fault.kind)
 
     @classmethod
     def fail_once(

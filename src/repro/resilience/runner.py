@@ -18,6 +18,14 @@ failing, an ordered chain of *fallback* variants) under the stage's
 Callables receive the 1-based attempt index so seeded stages can
 perturb their seed on retries (``perturbed_seed`` gives the planner's
 convention).
+
+With a bound :class:`~repro.resilience.checkpoint.CheckpointManager`
+attached, the runner is also the checkpoint boundary: a stage's result
+is committed to the store only from the success path (a failed retry
+attempt or a blown deadline never commits), and on a resume run a
+valid snapshot short-circuits the stage entirely — the ledger records
+a single ``resumed`` attempt and the stage span carries a
+``resumed_from`` event naming the checkpoint key.
 """
 
 from __future__ import annotations
@@ -66,11 +74,13 @@ class StageRunner:
         ledger: Optional[RunLedger] = None,
         faults: Optional[FaultInjector] = None,
         tracer=None,
+        checkpoint=None,
     ):
         self.config = config or ResilienceConfig()
         self.ledger = ledger if ledger is not None else RunLedger()
         self.faults = faults
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.checkpoint = checkpoint  # bound CheckpointManager or None
         self.scope = ""  # e.g. "iteration 2"; used by ledger and spans
 
     def note(self, message: str) -> None:
@@ -88,7 +98,17 @@ class StageRunner:
         ``primary`` gets ``policy.max_attempts`` tries; each fallback
         variant then gets one. All callables receive the 1-based
         attempt index of their variant.
+
+        When a checkpoint manager is attached, a valid snapshot for
+        this stage request is restored instead of executing anything,
+        and a fresh success is committed to the store.
         """
+        ckpt_key: Optional[str] = None
+        if self.checkpoint is not None:
+            ckpt_key = self.checkpoint.key(self.scope, stage)
+            hit, value, meta = self.checkpoint.restore(ckpt_key)
+            if hit:
+                return self._restored(stage, ckpt_key, value, meta)
         policy = self.config.policy_for(stage)
         variants = [("primary", primary)] + list(fallbacks)
         attempts = []
@@ -195,11 +215,34 @@ class StageRunner:
                             attempts[-1].seconds,
                             len(attempts),
                         )
+                        if self.checkpoint is not None and ckpt_key is not None:
+                            self.checkpoint.commit(
+                                ckpt_key,
+                                result,
+                                fallback=name if v_index > 0 else None,
+                            )
                         return result
             self._record(stage, attempts, FAILED)
             span.set(status=FAILED, attempts=len(attempts))
             log.error("stage %s: exhausted after %d attempts", stage, len(attempts))
         raise StageFailedError(stage, attempts) from last_exc
+
+    def _restored(self, stage: str, key: str, value: T, meta) -> T:
+        """Account for a stage satisfied from the checkpoint store."""
+        fallback = meta.get("fallback") if isinstance(meta, dict) else None
+        with self.tracer.span(stage, kind="stage", scope=self.scope) as span:
+            span.set(status=OK, resumed=True)
+            if fallback:
+                span.set(fallback=fallback)
+            span.event("resumed_from", checkpoint=key)
+        self._record(
+            stage,
+            [StageAttempt(stage, 1, "resumed", OK, 0.0)],
+            OK,
+            fallback=fallback,
+        )
+        log.info("stage %s: restored from checkpoint %s", stage, key)
+        return value
 
     def _call(
         self,

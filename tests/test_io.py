@@ -48,6 +48,11 @@ class TestRoundTrip:
         with pytest.raises(NetlistError, match="malformed"):
             graph_from_dict({"name": "x", "units": [{"name": "a"}]})
 
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        path = tmp_path / "g.json"
+        save_graph(s27_graph(), str(path))
+        assert [p.name for p in tmp_path.iterdir()] == ["g.json"]
+
     def test_invalid_graph_rejected(self):
         data = {
             "name": "bad",
@@ -62,3 +67,39 @@ class TestRoundTrip:
         }
         with pytest.raises(NetlistError, match="cycle"):
             graph_from_dict(data)
+
+
+class TestLoadGraphErrors:
+    """Every load failure is a NetlistError naming file and problem."""
+
+    def test_missing_file(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(NetlistError, match="cannot read circuit JSON"):
+            load_graph(str(path))
+
+    def test_truncated_json_names_file(self, tmp_path):
+        path = tmp_path / "cut.json"
+        save_graph(s27_graph(), str(path))
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(NetlistError, match="cut.json.*not valid JSON"):
+            load_graph(str(path))
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("}{ not json")
+        with pytest.raises(NetlistError, match="garbage.json.*not valid JSON"):
+            load_graph(str(path))
+
+    def test_wrong_toplevel_type(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(
+            NetlistError, match="list.json.*expected a JSON object.*got list"
+        ):
+            load_graph(str(path))
+
+    def test_missing_fields_name_the_file(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"name": "x", "units": [{"name": "a"}]}')
+        with pytest.raises(NetlistError, match="partial.json.*malformed"):
+            load_graph(str(path))
