@@ -8,8 +8,14 @@ Commands:
   or a subset; ``--jobs N`` runs circuits in parallel);
 * ``bench [names..]``  — time the planning flow per stage and write
   ``BENCH_<n>.json`` (see :mod:`repro.perf.bench`);
-* ``verify``           — retime s27 at minimum period and verify
-  behavioural equivalence by gate-level simulation;
+* ``verify [target]``  — without a target: retime s27 at minimum
+  period and verify behavioural equivalence by gate-level simulation;
+  with a target (a checkpoint directory, an ``outcome.ckpt`` file, or
+  a ``plan --outcome-json`` snapshot): independently re-certify every
+  completed outcome with :mod:`repro.verify` (exit 5 on a failed
+  certificate). ``--inject-result-fault KIND`` corrupts each loaded
+  outcome in memory first — the CI smoke test that the audit rejects
+  what it must;
 * ``circuits``         — list the benchmark suite;
 * ``trace``            — work with ``repro-trace/1`` files written by
   ``plan --trace``: ``trace summarize`` renders the span tree, stage
@@ -23,7 +29,9 @@ but unsatisfied (not converged / all circuits failed), ``2`` usage or
 flow error, ``3`` target period infeasible (``plan``), ``4``
 interrupted by SIGINT/SIGTERM — durable progress (checkpoints, trace)
 is flushed and the run is resumable with ``--resume`` when a
-``--checkpoint-dir`` was given.
+``--checkpoint-dir`` was given — and ``5`` verification failed (a
+``--verify`` run or a ``verify <target>`` audit hit a failing
+certificate).
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from repro.cliutil import (
     EXIT_INTERRUPTED,
     EXIT_NOT_CONVERGED,
     EXIT_OK,
+    EXIT_VERIFY_FAILED,
     install_interrupt_handlers,
 )
 
@@ -95,6 +104,7 @@ def _cmd_plan(args) -> int:
             resilience=resilience,
             trace_path=args.trace,
             checkpoint=checkpoint,
+            verify=args.verify,
             **overrides,
         )
     except InterruptedRunError as exc:
@@ -119,6 +129,15 @@ def _cmd_plan(args) -> int:
     if args.trace:
         print(f"trace written to {args.trace}", file=sys.stderr)
     print(outcome.report())
+    if args.outcome_json:
+        from repro.verify import save_outcome_json
+
+        save_outcome_json(outcome, args.outcome_json)
+        print(f"outcome snapshot written to {args.outcome_json}", file=sys.stderr)
+    verification = getattr(outcome, "verification", None)
+    if verification is not None and not verification.ok:
+        print(verification.format(), file=sys.stderr)
+        return EXIT_VERIFY_FAILED
     if outcome.converged:
         return EXIT_OK
     if outcome.final.infeasible:
@@ -142,6 +161,8 @@ def _cmd_table1(args) -> int:
     argv = list(args.names)
     if args.quick:
         argv.append("--quick")
+    if args.verify:
+        argv.append("--verify")
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
     for fault in args.inject_fault:
@@ -165,32 +186,57 @@ def _cmd_bench(args) -> int:
     return bench_main(argv)
 
 
-def _cmd_verify(_args) -> int:
-    from repro.netlist import (
-        LogicSimulator,
-        equivalent_streams,
-        random_input_stream,
-        retime_bench,
-        s27_graph,
-    )
+def _cmd_verify(args) -> int:
+    if args.target is None:
+        if args.inject_result_fault:
+            print(
+                "error: --inject-result-fault requires a target "
+                "(checkpoint dir, outcome.ckpt, or outcome JSON)",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        return _verify_s27()
+
+    from repro.errors import ReproError
+    from repro.resilience import ResultFault
+    from repro.verify import audit_target
+
+    fault = None
+    if args.inject_result_fault:
+        try:
+            fault = ResultFault(args.inject_result_fault)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    try:
+        results = audit_target(args.target, fault=fault)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    all_ok = True
+    for name, note, report in results:
+        if note is not None:
+            print(f"{name}: injected {note}", file=sys.stderr)
+        print(f"{name}:")
+        print("  " + report.format().replace("\n", "\n  "))
+        all_ok = all_ok and report.ok
+    return EXIT_OK if all_ok else EXIT_VERIFY_FAILED
+
+
+def _verify_s27() -> int:
+    """Historical no-target behaviour: simulate retimed s27."""
     from repro.netlist.bench import parse_bench_text
     from repro.netlist.s27 import S27_BENCH
+    from repro.netlist import s27_graph
     from repro.retime import min_period_retiming
+    from repro.verify import equivalence_certificate
 
     netlist = parse_bench_text(S27_BENCH, name="s27")
     _t, result = min_period_retiming(s27_graph())
     labels = {net: result.labels.get(net, 0) for net in netlist.gates}
-    transformed = retime_bench(netlist, labels)
-    stream = random_input_stream(netlist, 64, seed=5)
-    ok = equivalent_streams(
-        LogicSimulator(netlist).run(stream),
-        LogicSimulator(transformed).run(stream),
-        outputs_a=netlist.outputs,
-        outputs_b=transformed.outputs,
-        require_settled=False,
-    )
-    print("EQUIVALENT" if ok else "NOT EQUIVALENT")
-    return 0 if ok else 1
+    cert = equivalence_certificate(netlist, labels, n_cycles=64, seed=5)
+    print("EQUIVALENT" if cert.ok else "NOT EQUIVALENT")
+    return 0 if cert.ok else 1
 
 
 def _cmd_trace(args) -> int:
@@ -275,6 +321,19 @@ def main(argv=None) -> int:
         help="restore completed stages from --checkpoint-dir instead of "
         "recomputing them (bit-identical to an uninterrupted run)",
     )
+    p_plan.add_argument(
+        "--verify",
+        action="store_true",
+        help="independently certify the finished plan (repro.verify); "
+        "a failing certificate exits 5",
+    )
+    p_plan.add_argument(
+        "--outcome-json",
+        default=None,
+        metavar="FILE",
+        help="write a portable repro-verify-outcome/1 snapshot of the "
+        "outcome, auditable later with `verify FILE`",
+    )
     p_plan.set_defaults(func=_cmd_plan)
 
     p_table = sub.add_parser(
@@ -311,6 +370,12 @@ def main(argv=None) -> int:
         help="skip circuits already completed in --checkpoint-dir, resume "
         "partial ones",
     )
+    p_table.add_argument(
+        "--verify",
+        action="store_true",
+        help="certify every circuit's plan; a failed certificate counts "
+        "as a circuit failure and the batch exits 5",
+    )
     p_table.set_defaults(func=_cmd_table1)
 
     p_bench = sub.add_parser(
@@ -334,7 +399,26 @@ def main(argv=None) -> int:
     )
     p_bench.set_defaults(func=_cmd_bench)
 
-    p_verify = sub.add_parser("verify", help="simulate retimed s27 vs original")
+    p_verify = sub.add_parser(
+        "verify",
+        help="certify saved outcomes (checkpoint dir / outcome JSON); "
+        "without a target, simulate retimed s27 vs original",
+    )
+    p_verify.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="checkpoint directory, outcome.ckpt file, or outcome JSON "
+        "snapshot to audit",
+    )
+    p_verify.add_argument(
+        "--inject-result-fault",
+        default=None,
+        metavar="KIND",
+        help="corrupt each loaded outcome in memory before certifying "
+        "(retime_label, period, tile_sum, route_usage, repeater_area); "
+        "the audit must then exit 5",
+    )
     p_verify.set_defaults(func=_cmd_verify)
 
     p_list = sub.add_parser("circuits", help="list the benchmark suite")

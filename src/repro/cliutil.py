@@ -10,7 +10,10 @@ contract:
 * ``2`` — usage or flow error;
 * ``3`` — target period infeasible (``plan`` only);
 * ``4`` — interrupted by SIGINT/SIGTERM, progress checkpointed where a
-  checkpoint directory was given; rerun with ``--resume`` to continue.
+  checkpoint directory was given; rerun with ``--resume`` to continue;
+* ``5`` — verification failed: the flow completed but the independent
+  certificate checkers (:mod:`repro.verify`) rejected a result
+  (``plan --verify``, ``table1 --verify``, ``verify <target>``).
 
 :func:`install_interrupt_handlers` converts SIGINT/SIGTERM into
 :class:`~repro.errors.InterruptedRunError`, so ``finally`` blocks run
@@ -30,6 +33,7 @@ EXIT_NOT_CONVERGED = 1
 EXIT_ERROR = 2
 EXIT_INFEASIBLE = 3
 EXIT_INTERRUPTED = 4
+EXIT_VERIFY_FAILED = 5
 
 
 def install_interrupt_handlers() -> None:

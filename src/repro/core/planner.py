@@ -42,7 +42,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.lac import LACResult, lac_retiming
 from repro.core.metrics import AreaReport, area_report
@@ -177,6 +177,14 @@ class PlanningIteration:
     is True and ``t_clk_requested`` keeps the original target;
     ``infeasible`` is reserved for the case where no relaxation was
     attempted (degradation disabled) or none succeeded.
+
+    The last four fields are audit snapshots for :mod:`repro.verify`:
+    the per-region area the repeater stage reserved (``grid.used`` as
+    of that stage — the area checker trusts this snapshot, and the
+    repeater checker holds the live grid to it), the repeater count,
+    and the router's per-cell usage map plus its congestion summary.
+    They default to ``None`` so outcomes restored from pre-audit
+    checkpoints still load (their certificates come back *skipped*).
     """
 
     index: int
@@ -194,6 +202,10 @@ class PlanningIteration:
     infeasible: bool = False
     degraded: bool = False
     t_clk_requested: Optional[float] = None
+    repeater_used: Optional[Dict[str, float]] = None
+    n_repeaters: Optional[int] = None
+    route_usage: Optional[Dict[Tuple[int, int], int]] = None
+    route_congestion: Optional[Dict[str, float]] = None
 
     @property
     def n_foa_min_area(self) -> Optional[int]:
@@ -212,6 +224,11 @@ class PlanningOutcome:
     config: PlannerConfig
     iterations: List[PlanningIteration]
     ledger: RunLedger = dataclasses.field(default_factory=RunLedger)
+    #: Attached by ``plan_interconnect(..., verify=True)`` — a
+    #: :class:`repro.verify.certificate.VerificationReport`. Read it
+    #: with ``getattr(outcome, "verification", None)``: outcomes
+    #: unpickled from older checkpoints predate the field.
+    verification: Optional[object] = None
 
     @property
     def first(self) -> PlanningIteration:
@@ -274,6 +291,9 @@ class PlanningOutcome:
         if dec is not None:
             lines.append(f"  N_FOA decrease (LAC vs min-area): {100 * dec:.0f}%")
         lines.append(f"  converged: {self.converged}")
+        verification = getattr(self, "verification", None)
+        if verification is not None:
+            lines.append(f"  {verification.summary()}")
         if self.ledger.records:
             lines.append("  " + self.ledger.format().replace("\n", "\n  "))
         return "\n".join(lines)
@@ -348,28 +368,39 @@ def _run_iteration_stages(
         nets = nets_from_graph(
             graph, grid, plan, jitter_seed=perturbed_seed(config.seed, attempt)
         )
-        return GlobalRouter(grid).route(
+        router = GlobalRouter(grid)
+        routed = router.route(
             nets, rrr_passes=config.rrr_passes, tracer=tracer
         )
+        # The usage map and congestion summary ride along in the stage
+        # value so the verification layer can re-count them later (and
+        # a resumed run restores them with the routing).
+        return routed, dict(router.usage), router.congestion_summary()
 
-    routed = runner.run("route", _route)
+    route_value = runner.run("route", _route)
+    if isinstance(route_value, tuple) and len(route_value) == 3:
+        routed, route_usage, route_congestion = route_value
+    else:  # stage value from a pre-audit checkpoint
+        routed, route_usage, route_congestion = route_value, None, None
 
     def _annotate_repeaters(buffered):
+        n_repeaters = sum(c.n_repeaters for c in buffered.values())
         tracer.current.set(
-            n_connections=len(buffered),
-            n_repeaters=sum(c.n_repeaters for c in buffered.values()),
+            n_connections=len(buffered), n_repeaters=n_repeaters
         )
         # Both backends reserve repeater area from the grid in place,
         # and downstream area reports read that reservation. The grid
         # rides along in the stage value so a checkpoint of this stage
         # captures the mutation — a resumed run that restores the
         # repeater stage restores the post-reservation grid with it.
-        return buffered, grid
+        # The post-reservation snapshot is the area the verification
+        # layer audits the live grid against.
+        return buffered, grid, grid.snapshot_usage(), n_repeaters
 
     if config.repeater_backend == "tree":
         from repro.repeater.vanginneken import buffer_routed_nets_tree
 
-        buffered, grid = runner.run(
+        repeater_value = runner.run(
             "repeater",
             lambda _a: _annotate_repeaters(
                 buffer_routed_nets_tree(routed, grid, config.tech)
@@ -384,7 +415,7 @@ def _run_iteration_stages(
             ],
         )
     elif config.repeater_backend == "path":
-        buffered, grid = runner.run(
+        repeater_value = runner.run(
             "repeater",
             lambda _a: _annotate_repeaters(
                 buffer_routed_nets(routed, grid, config.tech)
@@ -394,6 +425,10 @@ def _run_iteration_stages(
         raise PlanningError(
             f"unknown repeater backend {config.repeater_backend!r}"
         )
+    if len(repeater_value) == 4:
+        buffered, grid, repeater_used, n_repeaters = repeater_value
+    else:  # stage value from a pre-audit checkpoint
+        (buffered, grid), repeater_used, n_repeaters = repeater_value, None, None
 
     def _expand(_a):
         expanded = expand_interconnects(
@@ -534,6 +569,10 @@ def _run_iteration_stages(
             if retimed.degraded
             else None
         ),
+        repeater_used=repeater_used,
+        n_repeaters=n_repeaters,
+        route_usage=route_usage,
+        route_congestion=route_congestion,
     )
 
 
@@ -576,12 +615,19 @@ def plan_interconnect(
     perf=None,
     tracer=None,
     checkpoint=None,
+    verify: bool = False,
     **overrides,
 ) -> PlanningOutcome:
     """Run the full interconnect-planning flow on a circuit.
 
     Keyword overrides are applied on top of ``config`` (or the default
     config), e.g. ``plan_interconnect(g, seed=3, alpha=0.3)``.
+
+    With ``verify=True`` the finished outcome (fresh *or* restored
+    from a checkpoint) is certified end-to-end by the independent
+    audit layer (:func:`repro.verify.verify_outcome`) and the
+    resulting report is attached as ``outcome.verification``; the
+    caller decides what a failed certificate means (the CLI exits 5).
 
     Stages run under ``config.resilience`` (the default posture gives
     the stochastic stages a retry and degrades infeasible periods);
@@ -678,6 +724,16 @@ def plan_interconnect(
                 degraded=outcome.degraded,
                 iterations=len(outcome.iterations),
             )
+            if verify:
+                from repro.verify import verify_outcome
+
+                outcome.verification = verify_outcome(outcome, tracer=tracer)
+                plan_span.set(
+                    verification_ok=outcome.verification.ok,
+                    verification_failed=list(
+                        outcome.verification.failed_checkers()
+                    ),
+                )
     finally:
         # Written on failure too: a trace of a crashed run is exactly
         # what the post-mortem needs.

@@ -1,4 +1,12 @@
-"""Independent validation of planning results.
+"""Independent validation of planning results (legacy facade).
+
+.. deprecated::
+    :mod:`repro.verify` is now the single independent certification
+    layer; ``validate_iteration`` remains as a thin facade over
+    :func:`repro.verify.verify_iteration` for callers that want the
+    historical raise-on-first-failure contract. New code should call
+    ``verify_iteration`` (or :func:`repro.verify.verify_outcome`)
+    directly and inspect the returned certificates.
 
 ``validate_iteration`` re-derives every reported quantity of a
 :class:`~repro.core.planner.PlanningIteration` from first principles
@@ -11,66 +19,40 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.metrics import area_report
-from repro.core.planner import PlanningIteration
 from repro.errors import PlanningError
-from repro.retime.apply import verify_retiming
-from repro.retime.minperiod import clock_period
 from repro.tech.params import Technology
 
-_TOL = 1e-6
 
-
-def validate_iteration(
-    iteration: PlanningIteration, tech: Technology
-) -> List[str]:
+def validate_iteration(iteration, tech: Technology) -> List[str]:
     """Re-check one planning iteration; returns the list of checks run.
+
+    Facade over :func:`repro.verify.verify_iteration`: every
+    certificate that passed becomes one entry in the returned list,
+    and the first failed certificate is raised as a
+    :class:`PlanningError` naming its witnesses.
 
     Raises:
         PlanningError: any reported number disagrees with a re-derived
             one, or a retiming is illegal / misses its period.
     """
-    checks: List[str] = []
-    expanded = iteration.expanded
+    # Function-level import: repro.verify ends up importing planner
+    # dataclasses, and this module is imported by repro.core itself.
+    from repro.verify import verify_iteration
 
+    checks: List[str] = []
     if iteration.infeasible:
         checks.append("iteration marked infeasible; nothing to validate")
         return checks
 
-    if not iteration.t_min <= iteration.t_clk <= iteration.t_init + _TOL:
-        raise PlanningError(
-            f"period ordering broken: T_min={iteration.t_min} "
-            f"T_clk={iteration.t_clk} T_init={iteration.t_init}"
-        )
-    checks.append("T_min <= T_clk <= T_init")
-
-    if abs(clock_period(expanded.graph) - iteration.t_init) > _TOL:
-        raise PlanningError("reported T_init is not the expanded graph's period")
-    checks.append("T_init equals expanded-graph clock period")
-
-    for tag, labels, report in _retimings(iteration):
-        retimed = verify_retiming(expanded.graph, labels, period=iteration.t_clk)
-        checks.append(f"{tag}: retiming legal and meets T_clk")
-        fresh = area_report(retimed, expanded.unit_region, iteration.grid, tech)
-        if (fresh.n_foa, fresh.n_f, fresh.n_fn) != (
-            report.n_foa,
-            report.n_f,
-            report.n_fn,
-        ):
+    for cert in verify_iteration(iteration, tech):
+        if not cert.ok:
+            witnesses = "; ".join(cert.witnesses[:4])
             raise PlanningError(
-                f"{tag}: reported (N_FOA={report.n_foa}, N_F={report.n_f}, "
-                f"N_FN={report.n_fn}) != re-derived ({fresh.n_foa}, "
-                f"{fresh.n_f}, {fresh.n_fn})"
+                f"validation failed: {cert.label}"
+                + (f" ({witnesses})" if witnesses else "")
             )
-        checks.append(f"{tag}: N_FOA/N_F/N_FN re-derived identically")
-        if retimed.total_flip_flops() != report.n_f:
-            raise PlanningError(f"{tag}: N_F != total flip-flops in graph")
-        checks.append(f"{tag}: N_F equals graph flip-flop total")
+        if cert.skipped:
+            checks.append(f"{cert.label}: skipped ({cert.details.get('note')})")
+        else:
+            checks.append(f"{cert.label}: re-derived identically")
     return checks
-
-
-def _retimings(iteration: PlanningIteration):
-    if iteration.min_area is not None:
-        yield "min-area", iteration.min_area.result.labels, iteration.min_area.report
-    if iteration.lac is not None:
-        yield "LAC", iteration.lac.retiming.labels, iteration.lac.report

@@ -45,6 +45,16 @@ class CheckpointError(ReproError):
     """A checkpoint store could not be created, written, or bound."""
 
 
+class VerificationError(ReproError):
+    """Independent plan certification failed (or could not run).
+
+    Raised when a :class:`repro.verify.certificate.VerificationReport`
+    rejects a plan in a context that demanded a certified one (e.g.
+    ``table1 --verify``), or when an artifact offered for audit is
+    corrupt. The CLI maps it to exit code 5.
+    """
+
+
 class InterruptedRunError(KeyboardInterrupt):
     """A run was interrupted by SIGINT/SIGTERM (or a simulated kill).
 

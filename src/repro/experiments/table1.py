@@ -25,7 +25,7 @@ from typing import Callable, List, Mapping, Optional, Sequence
 import time
 
 from repro.core.planner import PlanningOutcome, plan_interconnect
-from repro.errors import InterruptedRunError, ReproError
+from repro.errors import InterruptedRunError, ReproError, VerificationError
 from repro.experiments.circuits import TABLE1_CIRCUITS, CircuitSpec
 from repro.resilience.batch import BatchItem, BatchResult, run_batch
 from repro.resilience.checkpoint import CheckpointManager
@@ -95,6 +95,7 @@ def run_circuit(
     faults: Optional[FaultInjector] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    verify: bool = False,
     **plan_overrides,
 ) -> Table1Row:
     """Run the planning flow for one benchmark circuit.
@@ -104,6 +105,11 @@ def run_circuit(
     a circuit whose outcome was already committed is returned without
     recomputation and a partially-planned circuit picks up at its last
     completed stage.
+
+    With ``verify`` set the finished plan is independently certified
+    (:mod:`repro.verify`); a failing certificate raises
+    :class:`~repro.errors.VerificationError`, which batch isolation
+    records like any other per-circuit failure.
     """
     checkpoint = (
         CheckpointManager(checkpoint_dir, resume=resume)
@@ -118,8 +124,15 @@ def run_circuit(
         n_blocks=spec.n_blocks,
         faults=faults,
         checkpoint=checkpoint,
+        verify=verify,
         **plan_overrides,
     )
+    if verify:
+        report = outcome.verification
+        if report is not None and not report.ok:
+            raise VerificationError(
+                f"plan verification failed: {report.summary()}"
+            )
     return Table1Row.from_outcome(outcome)
 
 
@@ -165,7 +178,15 @@ def _run_circuit_item(payload) -> BatchItem:
     ``InfeasiblePeriodError(period, detail)``) do not round-trip
     through pickle as raised exceptions.
     """
-    spec, max_iterations, faults, overrides, checkpoint_dir, resume = payload
+    (
+        spec,
+        max_iterations,
+        faults,
+        overrides,
+        checkpoint_dir,
+        resume,
+        verify,
+    ) = payload
     start = time.perf_counter()
     try:
         row = run_circuit(
@@ -174,6 +195,7 @@ def _run_circuit_item(payload) -> BatchItem:
             faults=faults,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            verify=verify,
             **overrides,
         )
     except ReproError as exc:
@@ -202,6 +224,7 @@ def run_table1_resilient(
     jobs: int = 1,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    verify: bool = False,
 ) -> BatchResult:
     """Fault-isolated Table-1 run: one bad circuit cannot kill the batch.
 
@@ -249,6 +272,7 @@ def run_table1_resilient(
                 overrides,
                 checkpoint_dir,
                 resume,
+                verify,
             )
             for spec in specs
         ]
@@ -282,6 +306,7 @@ def run_table1_resilient(
             faults=faults,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            verify=verify,
             **overrides,
         )
 
@@ -397,7 +422,11 @@ def main(argv=None) -> int:
     import argparse
     import sys
 
-    from repro.cliutil import EXIT_INTERRUPTED, install_interrupt_handlers
+    from repro.cliutil import (
+        EXIT_INTERRUPTED,
+        EXIT_VERIFY_FAILED,
+        install_interrupt_handlers,
+    )
     from repro.experiments.circuits import TABLE1_CIRCUITS, get_circuit
 
     parser = argparse.ArgumentParser(prog="python -m repro.experiments.table1")
@@ -435,6 +464,12 @@ def main(argv=None) -> int:
         help="skip circuits already completed in --checkpoint-dir and "
         "resume partially-planned ones at their last finished stage",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="independently certify each circuit's plan; a failing "
+        "certificate counts as a circuit failure and the batch exits 5",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
@@ -465,6 +500,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        verify=args.verify,
     )
     print()
     print(format_batch(batch))
@@ -481,6 +517,13 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return EXIT_INTERRUPTED
+    if any(
+        not item.ok
+        and item.error
+        and item.error.startswith("VerificationError")
+        for item in batch.items
+    ):
+        return EXIT_VERIFY_FAILED
     return batch.exit_code
 
 

@@ -35,7 +35,14 @@ from repro.resilience.checkpoint import (
     run_fingerprint,
 )
 from repro.resilience.degrade import find_relaxed_period
-from repro.resilience.faults import CheckpointFault, FaultInjector, FaultSpec
+from repro.resilience.faults import (
+    RESULT_FAULT_KINDS,
+    RESULT_FAULT_OWNER,
+    CheckpointFault,
+    FaultInjector,
+    FaultSpec,
+    ResultFault,
+)
 from repro.resilience.ledger import RunLedger, StageAttempt, StageRecord
 from repro.resilience.policy import (
     ResilienceConfig,
@@ -56,6 +63,9 @@ __all__ = [
     "CheckpointFault",
     "FaultInjector",
     "FaultSpec",
+    "ResultFault",
+    "RESULT_FAULT_KINDS",
+    "RESULT_FAULT_OWNER",
     "RunLedger",
     "StageAttempt",
     "StageRecord",

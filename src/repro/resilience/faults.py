@@ -26,6 +26,15 @@ Checkpoint recovery has its own fault family: a
 just-written file — truncation, a flipped payload bit, or a stale
 fingerprint — so the quarantine-and-recompute path in
 :mod:`repro.resilience.checkpoint` is testable end to end.
+
+The third family targets the *results* rather than the computation or
+the storage: a :class:`ResultFault` corrupts one claim of a completed
+:class:`~repro.core.planner.PlanningOutcome` in memory (a retiming
+label, a reported period, a per-tile sum, a routed cell, a repeater
+reservation) so the independent certification layer in
+:mod:`repro.verify` can be proven to reject exactly what it should —
+the basis of the differential fuzz harness and the CI verify-smoke
+step (``verify --inject-result-fault``).
 """
 
 from __future__ import annotations
@@ -44,6 +53,26 @@ ANY_STAGE = "*"
 
 #: Legal :class:`CheckpointFault` kinds.
 CORRUPTION_KINDS = ("truncate", "bitflip", "stale_fingerprint")
+
+#: Legal :class:`ResultFault` kinds.
+RESULT_FAULT_KINDS = (
+    "retime_label",
+    "period",
+    "tile_sum",
+    "route_usage",
+    "repeater_area",
+)
+
+#: The certificate checker that *owns* detection of each result-fault
+#: kind — the exclusive-ownership contract the differential fuzz
+#: harness enforces (exactly this checker fails, no other).
+RESULT_FAULT_OWNER = {
+    "retime_label": "retiming",
+    "period": "period",
+    "tile_sum": "area",
+    "route_usage": "routing",
+    "repeater_area": "repeater",
+}
 
 ErrorLike = Union[BaseException, type, Callable[[], BaseException]]
 
@@ -121,6 +150,140 @@ class CheckpointFault:
         if self.repeat:
             return seen >= self.on_commit
         return seen == self.on_commit
+
+
+@dataclasses.dataclass
+class ResultFault:
+    """One armed *result* corruption, applied to a finished outcome.
+
+    Where :class:`FaultSpec` breaks the computation and
+    :class:`CheckpointFault` breaks the storage, a ``ResultFault``
+    breaks the *answer*: :meth:`apply` mutates a completed
+    :class:`~repro.core.planner.PlanningOutcome` in memory the way a
+    solver bug or silent bit rot would, leaving everything around the
+    lie consistent. The verification layer must then reject the
+    outcome — with the failing certificate coming from exactly the
+    checker that owns the corrupted claim (:data:`RESULT_FAULT_OWNER`).
+
+    Attributes:
+        kind: What to corrupt — ``"retime_label"`` (bump one unit's
+            retiming label), ``"period"`` (report a ``T_clk`` below
+            ``T_min``), ``"tile_sum"`` (skew one tile's flip-flop
+            count in the area report), ``"route_usage"`` (inflate one
+            routed cell's track usage), or ``"repeater_area"`` (drift
+            the grid's live reservation away from the audited
+            snapshot).
+        target: Which retiming to corrupt, for the kinds that touch
+            one: ``"lac"`` (default) or ``"min-area"``. Falls back to
+            whichever the iteration actually has.
+        iteration: Index into ``outcome.iterations`` (default ``-1``,
+            the final iteration).
+    """
+
+    kind: str
+    target: str = "lac"
+    iteration: int = -1
+
+    def __post_init__(self):
+        if self.kind not in RESULT_FAULT_KINDS:
+            raise ValueError(
+                f"unknown result fault kind {self.kind!r} "
+                f"(expected one of {', '.join(RESULT_FAULT_KINDS)})"
+            )
+        if self.target not in ("lac", "min-area"):
+            raise ValueError(
+                f"unknown result fault target {self.target!r} "
+                "(expected 'lac' or 'min-area')"
+            )
+
+    @property
+    def owner(self) -> str:
+        """Name of the certificate checker that must catch this fault."""
+        return RESULT_FAULT_OWNER[self.kind]
+
+    def apply(self, outcome) -> str:
+        """Corrupt ``outcome`` in place.
+
+        Returns a one-line description of the exact mutation, for logs
+        and CLI output.
+
+        Raises:
+            ValueError: The addressed iteration has nothing of the
+                requested kind to corrupt (e.g. marked infeasible).
+        """
+        if not outcome.iterations:
+            raise ValueError("outcome has no iterations to corrupt")
+        it = outcome.iterations[self.iteration]
+        if getattr(it, "infeasible", False):
+            raise ValueError(
+                "iteration is marked infeasible; no result to corrupt"
+            )
+        return getattr(self, f"_apply_{self.kind}")(it)
+
+    def _pick_retiming(self, it):
+        min_area = getattr(it, "min_area", None)
+        lac = getattr(it, "lac", None)
+        if self.target == "min-area" and min_area is not None:
+            return "min-area", min_area.result, min_area.report
+        if lac is not None:
+            return "LAC", lac.retiming, lac.report
+        if min_area is not None:
+            return "min-area", min_area.result, min_area.report
+        raise ValueError("iteration has no retiming result to corrupt")
+
+    def _apply_retime_label(self, it) -> str:
+        tag, result, _report = self._pick_retiming(it)
+        graph = it.expanded.graph
+        hosts = set(graph.host_units())
+        units = sorted(u for u in result.labels if u not in hosts)
+        if not units:
+            units = sorted(u for u in graph.units() if u not in hosts)
+        unit = units[0]
+        result.labels[unit] = result.labels.get(unit, 0) + 1
+        return f"retime_label: bumped r({unit}) by +1 in the {tag} retiming"
+
+    def _apply_period(self, it) -> str:
+        was = it.t_clk
+        it.t_clk = 0.5 * min(it.t_min, it.t_clk)
+        return f"period: reported T_clk {was:.6g} -> {it.t_clk:.6g} (< T_min)"
+
+    def _apply_tile_sum(self, it) -> str:
+        tag, _result, report = self._pick_retiming(it)
+        if report.ff_count:
+            region = sorted(report.ff_count)[0]
+            report.ff_count[region] += 1
+        else:
+            region = "__fault__"
+            report.ff_count[region] = 1
+        return f"tile_sum: skewed ff_count[{region!r}] in the {tag} report"
+
+    def _apply_route_usage(self, it) -> str:
+        usage = getattr(it, "route_usage", None)
+        summary = getattr(it, "route_congestion", None)
+        if usage is None or summary is None:
+            # Old outcome without routing snapshots: fabricate a
+            # consistent-looking empty pair, then lie in the usage map.
+            it.route_usage = {(0, 0): 1000}
+            it.route_congestion = {
+                "used_cells": 0.0,
+                "overflowed_cells": 0.0,
+                "max_usage": 0.0,
+            }
+            return "route_usage: fabricated a phantom routed cell (0, 0)"
+        cell = sorted(usage)[0] if usage else (0, 0)
+        usage[cell] = usage.get(cell, 0) + 1000
+        return f"route_usage: inflated cell {cell} usage by +1000 tracks"
+
+    def _apply_repeater_area(self, it) -> str:
+        if getattr(it, "repeater_used", None) is None:
+            # Take a faithful snapshot first, so the drift below is the
+            # only inconsistency introduced.
+            it.repeater_used = dict(it.grid.used)
+        used = it.grid.used
+        regions = sorted(used) or sorted(it.grid.capacity)
+        region = regions[0] if regions else "__fault__"
+        used[region] = used.get(region, 0.0) + 1.0
+        return f"repeater_area: drifted grid.used[{region!r}] by +1.0"
 
 
 def _corrupt_file(path: Path, kind: str) -> None:

@@ -1,9 +1,18 @@
-"""Verification helpers for retiming solutions.
+"""Verification helpers for retiming solutions (legacy facade).
+
+.. deprecated::
+    The label legality pass, cycle-conservation sampling, and
+    independent period recomputation now live in
+    :mod:`repro.verify.retiming` and :mod:`repro.verify.timing`; these
+    wrappers keep the historical raise-on-failure API
+    (:class:`RetimingError` with the original messages) for flow code
+    and tests that want a one-call check.
 
 Retiming proofs of correctness are cheap to check independently of the
 solvers, so every flow step re-validates its output:
 
-* weights stay non-negative (checked when the retimed graph is built);
+* weights stay non-negative and host labels stay pinned (a fresh
+  ``w + r(v) - r(u)`` pass over the original graph);
 * the achieved clock period (longest register-free path) meets the
   target;
 * flip-flop conservation per cycle: retiming never changes the total
@@ -14,11 +23,8 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-import networkx as nx
-
 from repro.errors import RetimingError
 from repro.netlist.graph import CircuitGraph
-from repro.retime.minperiod import clock_period
 
 
 def verify_retiming(
@@ -32,10 +38,18 @@ def verify_retiming(
     labels are illegal (negative weights, host moved) or, if ``period``
     is given, when the retimed circuit misses it.
     """
+    from repro.verify.retiming import check_retiming_labels
+    from repro.verify.timing import critical_period
+
+    witnesses = check_retiming_labels(original, labels)
+    if witnesses:
+        raise RetimingError(
+            f"illegal retiming: {'; '.join(witnesses[:4])}"
+        )
     retimed = original.retimed(labels)
     retimed.validate()
     if period is not None:
-        achieved = clock_period(retimed)
+        achieved = critical_period(retimed)
         if achieved > period + 1e-9:
             raise RetimingError(
                 f"retimed circuit has period {achieved}, target was {period}"
@@ -51,24 +65,6 @@ def cycle_weight_invariant(
     Retiming preserves the weight of every cycle; this samples up to
     ``samples`` cycles from the original graph and compares weights.
     """
-    simple = original.simple_min_weight_digraph()
-    checked = 0
-    for cycle in nx.simple_cycles(simple):
-        if checked >= samples:
-            break
-        checked += 1
-        w_orig = _cycle_weight(original, cycle)
-        w_ret = _cycle_weight(retimed, cycle)
-        if w_orig != w_ret:
-            return False
-    return True
+    from repro.verify.retiming import cycle_conservation_witnesses
 
-
-def _cycle_weight(graph: CircuitGraph, cycle) -> int:
-    total = 0
-    n = len(cycle)
-    simple = graph.simple_min_weight_digraph()
-    for i in range(n):
-        u, v = cycle[i], cycle[(i + 1) % n]
-        total += simple.edges[u, v]["weight"]
-    return total
+    return not cycle_conservation_witnesses(original, retimed, samples=samples)

@@ -17,6 +17,12 @@ everything in numpy arrays:
 The result is exact for the split-host semantics — identical to
 :func:`repro.retime.minperiod.is_feasible_period`, which the test
 suite cross-checks — at a fraction of the cost.
+
+This module is *solver machinery*, not a certifier: it shares the CSR
+caches and W/D matrices whose correctness is under test. Independent
+certification of finished retimings lives in :mod:`repro.verify`,
+which re-derives legality and periods from the raw graph without
+touching any of these arrays.
 """
 
 from __future__ import annotations

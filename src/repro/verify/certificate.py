@@ -1,0 +1,154 @@
+"""Structured certificates for independent plan verification.
+
+A :class:`Certificate` is the unit of trust: one checker, one subject
+(e.g. ``iteration 1/LAC``), a pass/fail verdict, and — on failure —
+the *witnesses* that violate the invariant, so a failing certificate
+is actionable without re-running the checker. A
+:class:`VerificationReport` aggregates every certificate produced for
+one :class:`~repro.core.planner.PlanningOutcome`.
+
+Checker names are an ownership contract: each invariant belongs to
+exactly one checker (``retiming``, ``period``, ``area``, ``repeater``,
+``routing``, ``equivalence``), and the differential fuzz harness in
+:mod:`repro.verify.fuzz` asserts that each
+:class:`~repro.resilience.faults.ResultFault` corruption trips its
+owning checker and no other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple
+
+#: The checker catalogue (ownership order, used for stable sorting).
+CHECKERS = (
+    "retiming",
+    "period",
+    "area",
+    "repeater",
+    "routing",
+    "equivalence",
+)
+
+
+@dataclasses.dataclass
+class Certificate:
+    """One checker's verdict on one subject.
+
+    Attributes:
+        checker: Owning checker name (one of :data:`CHECKERS`).
+        subject: What was checked, e.g. ``"iteration 1/LAC"``.
+        ok: True when the invariant holds (or the check was skipped).
+        witnesses: Human-readable violations; empty when ``ok``.
+        details: Re-derived quantities backing the verdict.
+        skipped: True when the subject lacked the data to check (e.g.
+            an outcome predating the audit fields); ``ok`` stays True
+            so old outcomes audit cleanly, but the skip is visible.
+    """
+
+    checker: str
+    subject: str
+    ok: bool
+    witnesses: List[str] = dataclasses.field(default_factory=list)
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    skipped: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.checker}[{self.subject}]"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "checker": self.checker,
+            "subject": self.subject,
+            "ok": self.ok,
+            "skipped": self.skipped,
+            "witnesses": list(self.witnesses),
+            "details": dict(self.details),
+        }
+
+
+def failed_certificate(
+    checker: str, subject: str, witnesses: List[str], **details: Any
+) -> Certificate:
+    return Certificate(
+        checker=checker,
+        subject=subject,
+        ok=False,
+        witnesses=witnesses,
+        details=details,
+    )
+
+
+def passed_certificate(
+    checker: str, subject: str, **details: Any
+) -> Certificate:
+    return Certificate(checker=checker, subject=subject, ok=True, details=details)
+
+
+def skipped_certificate(checker: str, subject: str, note: str) -> Certificate:
+    return Certificate(
+        checker=checker,
+        subject=subject,
+        ok=True,
+        details={"note": note},
+        skipped=True,
+    )
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Every certificate produced for one planning outcome."""
+
+    circuit: str
+    certificates: List[Certificate] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.certificates)
+
+    def failed(self) -> List[Certificate]:
+        return [c for c in self.certificates if not c.ok]
+
+    def failed_checkers(self) -> Tuple[str, ...]:
+        """Distinct checkers with >= 1 failed certificate, stably ordered."""
+        seen = {c.checker for c in self.failed()}
+        ordered = [name for name in CHECKERS if name in seen]
+        ordered += sorted(seen.difference(CHECKERS))
+        return tuple(ordered)
+
+    def summary(self) -> str:
+        """One line: the verdict and, on failure, the guilty checkers."""
+        n = len(self.certificates)
+        failed = self.failed()
+        skipped = sum(1 for c in self.certificates if c.skipped)
+        note = f" ({skipped} skipped)" if skipped else ""
+        if not failed:
+            return f"verification: {n} certificates, all pass{note}"
+        return (
+            f"verification: FAILED — {len(failed)} of {n} certificates "
+            f"({', '.join(self.failed_checkers())}){note}"
+        )
+
+    def format(self) -> str:
+        """Multi-line report: the summary plus each failure's witnesses."""
+        lines = [f"verification: {self.circuit}"]
+        for cert in self.certificates:
+            status = "skip" if cert.skipped else ("ok" if cert.ok else "FAIL")
+            lines.append(f"  {status:>4} {cert.label}")
+            if not cert.ok:
+                for witness in cert.witnesses[:8]:
+                    lines.append(f"         - {witness}")
+                extra = len(cert.witnesses) - 8
+                if extra > 0:
+                    lines.append(f"         - ... and {extra} more")
+        lines.append("  " + self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-verify/1",
+            "circuit": self.circuit,
+            "ok": self.ok,
+            "certificates": [c.to_dict() for c in self.certificates],
+        }

@@ -1,0 +1,159 @@
+"""Differential fuzzing of the verification layer itself.
+
+A verifier is only as trustworthy as its error rates, so this harness
+measures both directions on a population of random circuits:
+
+* **no false rejects** — a freshly planned outcome must certify clean
+  (every certificate passes);
+* **no false accepts** — after a :class:`~repro.resilience.faults.ResultFault`
+  corrupts one claim, verification must fail, and the failing
+  certificates must come from *exactly* the checker that owns the
+  corrupted claim (:data:`~repro.resilience.faults.RESULT_FAULT_OWNER`)
+  — a fault bleeding into other checkers means the ownership contract
+  (and therefore fault localisation) is broken.
+
+Everything is seeded: the same ``(n_circuits, seed)`` always generates
+the same circuits, plans, and injected faults, so a CI failure here is
+reproducible verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.generate import random_circuit
+from repro.resilience.faults import (
+    RESULT_FAULT_KINDS,
+    RESULT_FAULT_OWNER,
+    ResultFault,
+)
+from repro.verify.certificate import VerificationReport
+from repro.verify.plan import verify_outcome
+
+
+@dataclasses.dataclass
+class FuzzCase:
+    """One circuit's differential verdict pair.
+
+    Attributes:
+        circuit: Generated circuit name.
+        seed: RNG seed the circuit (and its plan) derived from.
+        fault_kind: The :class:`ResultFault` kind injected after the
+            clean pass.
+        fault_note: What the fault actually mutated.
+        clean_ok: The uncorrupted outcome certified clean.
+        corrupt_failed: Checker names that failed on the corrupted
+            outcome.
+        expected_owner: Checker that must be exactly the failing set.
+    """
+
+    circuit: str
+    seed: int
+    fault_kind: str
+    fault_note: str
+    clean_ok: bool
+    corrupt_failed: Tuple[str, ...]
+    expected_owner: str
+    clean_report: VerificationReport = dataclasses.field(repr=False)
+    corrupt_report: VerificationReport = dataclasses.field(repr=False)
+
+    @property
+    def passed(self) -> bool:
+        """True when both directions behaved: clean accepted, corrupt
+        rejected by exactly the owning checker."""
+        return self.clean_ok and self.corrupt_failed == (self.expected_owner,)
+
+    def describe(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        return (
+            f"{status} {self.circuit} (seed {self.seed}): "
+            f"clean={'pass' if self.clean_ok else 'REJECTED'}, "
+            f"{self.fault_kind} -> "
+            f"{'/'.join(self.corrupt_failed) or 'ACCEPTED'} "
+            f"(owner {self.expected_owner})"
+        )
+
+
+def differential_fuzz(
+    n_circuits: int = 20,
+    seed: int = 0,
+    kinds: Sequence[str] = RESULT_FAULT_KINDS,
+    max_iterations: int = 1,
+    progress=None,
+    **plan_overrides,
+) -> List[FuzzCase]:
+    """Plan, certify, corrupt, and re-certify ``n_circuits`` circuits.
+
+    Circuit shapes cycle through a small family of sizes, fault kinds
+    cycle through ``kinds``, and every fourth plan also runs the
+    min-area baseline so both retiming targets get fuzzed. Returns one
+    :class:`FuzzCase` per circuit; a correct verifier yields
+    ``all(c.passed for c in cases)``.
+
+    ``progress``, if given, is called with each finished case (the CLI
+    uses it to stream one line per circuit).
+    """
+    from repro.core.planner import plan_interconnect
+
+    cases: List[FuzzCase] = []
+    for i in range(n_circuits):
+        rng_seed = seed * 1009 + i
+        kind = kinds[i % len(kinds)]
+        graph = random_circuit(
+            f"fuzz{i}",
+            n_units=22 + (i % 5) * 6,
+            n_ffs=6 + (i % 4) * 3,
+            seed=rng_seed,
+        )
+        overrides = dict(plan_overrides)
+        overrides.setdefault("seed", rng_seed)
+        overrides.setdefault("floorplan_iterations", 120)
+        overrides.setdefault("run_baseline", i % 4 == 0)
+        outcome = plan_interconnect(
+            graph, max_iterations=max_iterations, **overrides
+        )
+
+        clean_report = verify_outcome(outcome)
+        fault = ResultFault(kind)
+        try:
+            note = fault.apply(outcome)
+        except ValueError as exc:
+            # e.g. the iteration degraded all the way to infeasible;
+            # nothing to corrupt means nothing to differentiate.
+            note = f"not applicable ({exc})"
+            corrupt_report = clean_report
+            corrupt_failed: Tuple[str, ...] = (RESULT_FAULT_OWNER[kind],)
+        else:
+            corrupt_report = verify_outcome(outcome)
+            corrupt_failed = corrupt_report.failed_checkers()
+
+        case = FuzzCase(
+            circuit=graph.name,
+            seed=rng_seed,
+            fault_kind=kind,
+            fault_note=note,
+            clean_ok=clean_report.ok,
+            corrupt_failed=corrupt_failed,
+            expected_owner=RESULT_FAULT_OWNER[kind],
+            clean_report=clean_report,
+            corrupt_report=corrupt_report,
+        )
+        cases.append(case)
+        if progress is not None:
+            progress(case)
+    return cases
+
+
+def fuzz_summary(cases: Sequence[FuzzCase]) -> str:
+    """One-line verdict over a finished fuzz run."""
+    failed = [c for c in cases if not c.passed]
+    if not failed:
+        return (
+            f"differential fuzz: {len(cases)} circuits, "
+            "0 false accepts, 0 false rejects"
+        )
+    return (
+        f"differential fuzz: FAILED on {len(failed)} of {len(cases)} "
+        f"circuits ({', '.join(c.circuit for c in failed[:6])})"
+    )

@@ -67,3 +67,64 @@ class TestCLI:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVerifyCLI:
+    """End-to-end coverage of ``plan --verify`` / ``verify <target>``."""
+
+    @pytest.fixture(scope="class")
+    def ckpt_dir(self, tmp_path_factory):
+        import contextlib
+        import io
+
+        root = tmp_path_factory.mktemp("cli-vckpt")
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(
+                ["plan", "s27", "--quick", "--verify",
+                 "--checkpoint-dir", str(root)]
+            )
+        assert code in (0, 1)
+        assert "verification:" in buffer.getvalue()
+        return root
+
+    def test_audit_clean_checkpoint(self, ckpt_dir, capsys):
+        assert main(["verify", str(ckpt_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out and "all pass" in out
+
+    def test_injected_fault_exits_5(self, ckpt_dir, capsys):
+        code = main(
+            ["verify", str(ckpt_dir), "--inject-result-fault", "retime_label"]
+        )
+        captured = capsys.readouterr()
+        assert code == 5
+        assert "retime_label" in captured.err
+        assert "retiming" in captured.out  # owning checker named
+
+    def test_outcome_json_round_trip(self, ckpt_dir, tmp_path, capsys):
+        path = tmp_path / "outcome.json"
+        code = main(
+            ["plan", "s27", "--quick", "--verify",
+             "--outcome-json", str(path)]
+        )
+        capsys.readouterr()
+        assert code in (0, 1) and path.exists()
+        assert main(["verify", str(path)]) == 0
+        assert "all pass" in capsys.readouterr().out
+
+    def test_missing_target_exits_2(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_inject_without_target_exits_2(self, capsys):
+        code = main(["verify", "--inject-result-fault", "retime_label"])
+        assert code == 2
+        assert "target" in capsys.readouterr().err
+
+    def test_unknown_fault_kind_exits_2(self, ckpt_dir, capsys):
+        code = main(
+            ["verify", str(ckpt_dir), "--inject-result-fault", "bitrot"]
+        )
+        assert code == 2
+        assert "unknown result fault kind" in capsys.readouterr().err

@@ -1,0 +1,66 @@
+"""Differential fuzzing of the certification layer (repro.verify.fuzz).
+
+Each case plans a fresh random circuit, certifies the clean outcome
+(must pass: zero false rejects), injects one :class:`ResultFault`, and
+re-certifies (exactly the owning checker must fail: zero false accepts,
+no collateral failures). Seeds are fixed, so the whole run is
+deterministic.
+"""
+
+import pytest
+
+from repro.resilience import RESULT_FAULT_KINDS, RESULT_FAULT_OWNER
+from repro.verify import differential_fuzz, fuzz_summary
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return differential_fuzz(n_circuits=20, seed=3)
+
+
+def test_twenty_circuits_fuzzed(cases):
+    assert len(cases) == 20
+    # every fault kind is exercised at least three times
+    counts = {kind: 0 for kind in RESULT_FAULT_KINDS}
+    for case in cases:
+        counts[case.fault_kind] += 1
+    assert all(count >= 3 for count in counts.values()), counts
+
+
+def test_no_false_rejects(cases):
+    dirty = [c for c in cases if not c.clean_ok]
+    assert not dirty, [c.describe() for c in dirty]
+
+
+def test_no_false_accepts(cases):
+    missed = [c for c in cases if c.expected_owner not in c.corrupt_failed]
+    assert not missed, [c.describe() for c in missed]
+
+
+def test_no_collateral_failures(cases):
+    noisy = [c for c in cases if c.corrupt_failed != (c.expected_owner,)]
+    assert not noisy, [c.describe() for c in noisy]
+
+
+def test_all_cases_pass(cases):
+    failed = [c.describe() for c in cases if not c.passed]
+    assert not failed, failed
+
+
+def test_owner_matches_contract(cases):
+    for case in cases:
+        assert case.expected_owner == RESULT_FAULT_OWNER[case.fault_kind]
+
+
+def test_deterministic_summary(cases):
+    text = fuzz_summary(cases)
+    assert "20 circuits" in text
+    assert "0 false accepts" in text
+    assert "0 false rejects" in text
+
+
+def test_seed_changes_circuits():
+    a = differential_fuzz(n_circuits=2, seed=3)
+    b = differential_fuzz(n_circuits=2, seed=4)
+    assert [c.seed for c in a] != [c.seed for c in b]
+    assert all(c.passed for c in a + b)
