@@ -177,12 +177,18 @@ def _cmd_table1(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.perf.bench import main as bench_main
 
+    if args.compare:
+        return bench_main(
+            ["--compare", *args.compare, "--threshold", str(args.threshold)]
+        )
     argv = list(args.names)
     if args.quick:
         argv.append("--quick")
     if args.cold:
         argv.append("--cold")
     argv += ["--engine", args.engine, "--out", args.out]
+    if args.min_stage_coverage is not None:
+        argv += ["--min-stage-coverage", str(args.min_stage_coverage)]
     return bench_main(argv)
 
 
@@ -396,6 +402,21 @@ def main(argv=None) -> int:
     p_bench.add_argument(
         "--out", default="benchmarks/results", metavar="DIR",
         help="output directory (default: benchmarks/results)",
+    )
+    p_bench.add_argument(
+        "--min-stage-coverage", type=float, default=None, metavar="FRAC",
+        help="fail unless recorded stages cover at least this fraction "
+        "of each circuit's wall clock",
+    )
+    p_bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two BENCH_<n>.json files instead of benching; "
+        "exits nonzero on timing or result regressions",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRAC",
+        help="with --compare: allowed total wall-clock regression "
+        "(default 0.10)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

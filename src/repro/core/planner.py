@@ -91,6 +91,8 @@ class PlannerConfig:
     max_rounds: int = 30
     prune: bool = True
     floorplan_iterations: int = 2000
+    anneal_replicas: int = 1  # parallel-tempered multi-start replicas
+    anneal_jobs: int = 1  # worker processes for replicas > 1
     rrr_passes: int = 2
     max_units_per_connection: Optional[int] = 4
     hard_blocks: Tuple[int, ...] = ()
@@ -121,6 +123,15 @@ def validate_planner_config(config: PlannerConfig) -> None:
         raise PlanningError(
             "PlannerConfig.expansion_factor must be > 1.0, got "
             f"{config.expansion_factor}"
+        )
+    if config.anneal_replicas < 1:
+        raise PlanningError(
+            "PlannerConfig.anneal_replicas must be >= 1, got "
+            f"{config.anneal_replicas}"
+        )
+    if config.anneal_jobs < 1:
+        raise PlanningError(
+            f"PlannerConfig.anneal_jobs must be >= 1, got {config.anneal_jobs}"
         )
     if not 0.0 <= config.target_fraction <= 1.0:
         raise PlanningError(
@@ -777,6 +788,8 @@ def _plan_stages(
             whitespace=config.whitespace,
             iterations=config.floorplan_iterations,
             backend=config.floorplan_backend,
+            replicas=config.anneal_replicas,
+            anneal_jobs=config.anneal_jobs,
             tracer=tracer,
         ),
     )

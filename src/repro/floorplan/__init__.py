@@ -1,6 +1,6 @@
 """Sequence-pair floorplanning of circuit blocks."""
 
-from repro.floorplan.annealer import SequencePairAnnealer
+from repro.floorplan.annealer import SequencePairAnnealer, anneal_multistart
 from repro.floorplan.blocks import Block, Placement
 from repro.floorplan.plan import (
     Floorplan,
@@ -9,15 +9,18 @@ from repro.floorplan.plan import (
     expand_floorplan,
     net_pairs_from_graph,
 )
-from repro.floorplan.sequence_pair import overlaps, pack
+from repro.floorplan.sequence_pair import ArrayPacker, overlaps, pack, pack_arrays
 from repro.floorplan.slicing import SlicingFloorplanner
 
 __all__ = [
     "Block",
     "Placement",
     "pack",
+    "pack_arrays",
+    "ArrayPacker",
     "overlaps",
     "SequencePairAnnealer",
+    "anneal_multistart",
     "SlicingFloorplanner",
     "Floorplan",
     "blocks_from_partition",

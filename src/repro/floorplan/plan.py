@@ -14,7 +14,7 @@ import dataclasses
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import FloorplanError
-from repro.floorplan.annealer import SequencePairAnnealer
+from repro.floorplan.annealer import SequencePairAnnealer, anneal_multistart
 from repro.floorplan.blocks import Block, Placement
 from repro.floorplan.sequence_pair import pack
 from repro.netlist.graph import CircuitGraph
@@ -124,6 +124,8 @@ def build_floorplan(
     whitespace: float = 0.25,
     iterations: int = 2500,
     backend: str = "sequence_pair",
+    replicas: int = 1,
+    anneal_jobs: int = 1,
     tracer=None,
 ) -> Floorplan:
     """Partition-aware floorplanning: size blocks, anneal, package.
@@ -132,6 +134,11 @@ def build_floorplan(
     supports incremental expansion via the stored sequence pair) or
     ``"slicing"`` (normalised Polish expressions; expansion falls back
     to a re-anneal because slicing floorplans carry no sequence pair).
+
+    ``replicas > 1`` anneals that many parallel-tempered multi-start
+    replicas (deterministic seed fan-out; ``anneal_jobs`` worker
+    processes) and keeps the best floorplan. The default ``replicas=1``
+    reproduces the single-start result exactly.
     """
     blocks, block_of_unit = blocks_from_partition(
         graph, partition, hard_blocks=hard_blocks, whitespace=whitespace
@@ -166,10 +173,15 @@ def build_floorplan(
     if backend != "sequence_pair":
         raise FloorplanError(f"unknown floorplan backend {backend!r}")
     net_pairs = net_pairs_from_graph(graph, block_of_unit)
-    annealer = SequencePairAnnealer(blocks, net_pairs, seed=seed)
-    annealer.run(iterations=iterations, tracer=tracer)
-    gp, gm = annealer.best_sequences
-    best_blocks = annealer.best_blocks
+    (gp, gm), best_blocks, _best_cost = anneal_multistart(
+        blocks,
+        net_pairs,
+        seed=seed,
+        iterations=iterations,
+        replicas=replicas,
+        jobs=anneal_jobs,
+        tracer=tracer,
+    )
     placements, w, h = pack(gp, gm, best_blocks)
     return Floorplan(
         blocks=dict(best_blocks),

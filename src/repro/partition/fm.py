@@ -14,6 +14,8 @@ import logging
 import random
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.obs import NOOP_TRACER
 
 log = logging.getLogger(__name__)
@@ -57,6 +59,52 @@ class FMBipartitioner:
             for c in net:
                 if c in self._nets_of:
                     self._nets_of[c].append(i)
+        self._build_incidence()
+
+    def _build_incidence(self) -> None:
+        """Flatten the cell/net incidence into CSR-style arrays.
+
+        One "pin" per (net, member cell) pair, restricted to this
+        instance's cells — the same restriction ``_nets_of`` applies.
+        ``_one_pass`` works entirely on these arrays; the dict-based
+        :meth:`_gain` is kept as the auditable reference and is what
+        the property tests compare against.
+        """
+        pos = {c: k for k, c in enumerate(self.cells)}
+        self._cell_pos = pos
+        pin_cell: List[int] = []
+        pin_net: List[int] = []
+        for i, net in enumerate(self.nets):
+            for c in net:
+                k = pos.get(c)
+                if k is not None:
+                    pin_cell.append(k)
+                    pin_net.append(i)
+        self._pin_cell = np.array(pin_cell, dtype=np.int64)
+        self._pin_net = np.array(pin_net, dtype=np.int64)
+        self._areas_arr = np.array(
+            [self.areas[c] for c in self.cells], dtype=np.float64
+        )
+        # Per-cell and per-net views of the pin list (CSR index maps),
+        # so one move can gather every pin of every net it touches.
+        n = len(self.cells)
+        by_cell = np.argsort(self._pin_cell, kind="stable")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self._pin_cell, minlength=n), out=indptr[1:]
+        )
+        self._cell_pins = [
+            by_cell[indptr[k] : indptr[k + 1]] for k in range(n)
+        ]
+        by_net = np.argsort(self._pin_net, kind="stable")
+        net_ptr = np.zeros(len(self.nets) + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self._pin_net, minlength=len(self.nets)),
+            out=net_ptr[1:],
+        )
+        self._net_pins = [
+            by_net[net_ptr[m] : net_ptr[m + 1]] for m in range(len(self.nets))
+        ]
 
     # ------------------------------------------------------------------
     def run(self, passes: int = 8, tracer=None) -> Dict[str, int]:
@@ -134,44 +182,92 @@ class FMBipartitioner:
         return gain
 
     def _one_pass(self, side: Dict[str, int]) -> Tuple[bool, Dict[str, int]]:
-        """One FM pass: move every cell once, keep the best prefix."""
-        side = dict(side)
+        """One FM pass: move every cell once, keep the best prefix.
+
+        Array implementation of the classic pass. Per-net side counts
+        and a per-cell gain table are kept incrementally: a move
+        adjusts the counts of the nets it touches and re-derives the
+        gain contribution of exactly the pins on those nets. The move
+        selected each step is the first unlocked, balance-respecting
+        cell (in ``self.cells`` order) of maximum gain — ``argmax``
+        over a masked gain array, which matches the historical
+        first-strict-maximum linear scan move for move.
+        """
+        out = dict(side)
+        n = len(self.cells)
+        if n == 0:
+            return False, out
+        # Accumulate side areas in cells order with scalar float adds,
+        # exactly like the historical pass (bit-equal balance checks).
         area = [0.0, 0.0]
         for c in self.cells:
-            area[side[c]] += self.areas[c]
-        locked: Set[str] = set()
+            area[out[c]] += self.areas[c]
+        side_arr = np.fromiter(
+            (out[c] for c in self.cells), dtype=np.int64, count=n
+        )
+        pin_cell = self._pin_cell
+        pin_net = self._pin_net
+        n_nets = len(self.nets)
+        cnt = np.zeros((2, n_nets), dtype=np.int64)
+        pin_side = side_arr[pin_cell]
+        cnt[0] = np.bincount(pin_net[pin_side == 0], minlength=n_nets)
+        cnt[1] = np.bincount(pin_net[pin_side == 1], minlength=n_nets)
+        # gain contribution of one pin: +1 when the cell is alone on
+        # its side of the net (moving uncuts), -1 when the far side is
+        # empty (moving cuts).
+        gain = np.zeros(n, dtype=np.int64)
+        if pin_cell.size:
+            contrib = (cnt[pin_side, pin_net] == 1).astype(np.int64) - (
+                cnt[1 - pin_side, pin_net] == 0
+            ).astype(np.int64)
+            np.add.at(gain, pin_cell, contrib)
+
+        locked = np.zeros(n, dtype=bool)
+        neg = np.iinfo(np.int64).min
         history: List[Tuple[str, int]] = []
         cum_gain = 0
         best_prefix = 0
         best_gain = 0
-
-        for _ in range(len(self.cells)):
-            best_cell = None
-            best_cell_gain = None
-            for c in self.cells:
-                if c in locked:
-                    continue
-                target = 1 - side[c]
-                if area[target] + self.areas[c] > self.max_side_area:
-                    continue
-                g = self._gain(c, side)
-                if best_cell_gain is None or g > best_cell_gain:
-                    best_cell = c
-                    best_cell_gain = g
-            if best_cell is None:
+        for _ in range(n):
+            target_area = np.where(side_arr == 0, area[1], area[0])
+            eligible = ~locked & (
+                target_area + self._areas_arr <= self.max_side_area
+            )
+            if not eligible.any():
                 break
-            locked.add(best_cell)
-            s = side[best_cell]
-            area[s] -= self.areas[best_cell]
-            area[1 - s] += self.areas[best_cell]
-            side[best_cell] = 1 - s
-            cum_gain += best_cell_gain
-            history.append((best_cell, best_cell_gain))
+            k = int(np.argmax(np.where(eligible, gain, neg)))
+            g = int(gain[k])
+            locked[k] = True
+            name = self.cells[k]
+            s = int(side_arr[k])
+            area[s] -= self.areas[name]
+            area[1 - s] += self.areas[name]
+            my_nets = pin_net[self._cell_pins[k]]
+            if my_nets.size:
+                aff = np.concatenate([self._net_pins[m] for m in my_nets])
+                ac = pin_cell[aff]
+                an = pin_net[aff]
+                asides = side_arr[ac]
+                old = (cnt[asides, an] == 1).astype(np.int64) - (
+                    cnt[1 - asides, an] == 0
+                ).astype(np.int64)
+                cnt[s, my_nets] -= 1
+                cnt[1 - s, my_nets] += 1
+                side_arr[k] = 1 - s
+                asides = side_arr[ac]
+                new = (cnt[asides, an] == 1).astype(np.int64) - (
+                    cnt[1 - asides, an] == 0
+                ).astype(np.int64)
+                np.add.at(gain, ac, new - old)
+            else:
+                side_arr[k] = 1 - s
+            cum_gain += g
+            history.append((name, g))
             if cum_gain > best_gain:
                 best_gain = cum_gain
                 best_prefix = len(history)
 
-        # Roll back moves after the best prefix.
-        for cell, _g in history[best_prefix:]:
-            side[cell] = 1 - side[cell]
-        return best_gain > 0, side
+        # Keep the best prefix of moves (each cell moves at most once).
+        for name, _g in history[:best_prefix]:
+            out[name] = 1 - out[name]
+        return best_gain > 0, out

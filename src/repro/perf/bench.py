@@ -47,7 +47,7 @@ import json
 import re
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.planner import plan_interconnect
 from repro.errors import ReproError
@@ -171,6 +171,86 @@ def run_bench(
     }
 
 
+def _stage_totals(doc: Dict[str, object]) -> Dict[str, float]:
+    """Per-stage seconds summed over the document's ok circuits."""
+    totals: Dict[str, float] = {}
+    for entry in doc["circuits"]:
+        if not entry.get("ok"):
+            continue
+        for stage in entry.get("stages", []):
+            name = stage["name"]
+            totals[name] = totals.get(name, 0.0) + float(stage["seconds"])
+    return totals
+
+
+def compare_bench(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold: float = 0.10,
+) -> Tuple[List[str], List[str]]:
+    """Compare two bench documents; returns ``(report, regressions)``.
+
+    The report lists total and per-stage wall-clock deltas plus
+    per-circuit walls. Regressions (non-empty -> the CLI exits 1) are:
+
+    * total wall clock slower than ``old * (1 + threshold)``;
+    * any planner *result* drift — ``t_clk``/``n_foa``/``n_f`` of a
+      circuit present in both runs differing, or a circuit that was ok
+      before now failing. Timing noise is expected; result drift never
+      is.
+    """
+
+    def fmt_delta(old_s: float, new_s: float) -> str:
+        if old_s <= 0:
+            return f"{old_s:.3f}s -> {new_s:.3f}s"
+        pct = (new_s - old_s) / old_s * 100.0
+        return f"{old_s:.3f}s -> {new_s:.3f}s ({pct:+.1f}%)"
+
+    report: List[str] = []
+    regressions: List[str] = []
+
+    old_wall = float(old["totals"]["wall_seconds"])
+    new_wall = float(new["totals"]["wall_seconds"])
+    report.append(f"total wall: {fmt_delta(old_wall, new_wall)}")
+    if old_wall > 0 and new_wall > old_wall * (1.0 + threshold):
+        regressions.append(
+            f"total wall regressed beyond {threshold:.0%}: "
+            f"{old_wall:.3f}s -> {new_wall:.3f}s"
+        )
+
+    old_stages = _stage_totals(old)
+    new_stages = _stage_totals(new)
+    for name in sorted(set(old_stages) | set(new_stages)):
+        report.append(
+            f"stage {name:>24}: "
+            f"{fmt_delta(old_stages.get(name, 0.0), new_stages.get(name, 0.0))}"
+        )
+
+    old_by_name = {e["name"]: e for e in old["circuits"]}
+    for entry in new["circuits"]:
+        prev = old_by_name.get(entry["name"])
+        if prev is None:
+            continue
+        if prev.get("ok") and not entry.get("ok"):
+            regressions.append(
+                f"{entry['name']}: was ok, now fails ({entry.get('error')})"
+            )
+            continue
+        if not (prev.get("ok") and entry.get("ok")):
+            continue
+        report.append(
+            f"{entry['name']:>8}: wall "
+            f"{fmt_delta(prev['wall_seconds'], entry['wall_seconds'])}"
+        )
+        for key in ("t_clk", "n_foa", "n_f"):
+            if prev.get(key) != entry.get(key):
+                regressions.append(
+                    f"{entry['name']}: {key} drifted "
+                    f"{prev.get(key)} -> {entry.get(key)}"
+                )
+    return report, regressions
+
+
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -235,7 +315,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fail (exit 1) if any circuit's recorded stages account for "
         "less than this fraction of its wall clock",
     )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="compare two BENCH_<n>.json files (no benching): print "
+        "total/stage/circuit deltas, exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="with --compare: allowed total wall-clock regression "
+        "(default 0.10 = 10%%)",
+    )
     args = parser.parse_args(argv)
+    if args.compare:
+        old_path, new_path = args.compare
+        old = json.loads(Path(old_path).read_text())
+        new = json.loads(Path(new_path).read_text())
+        report, regressions = compare_bench(old, new, threshold=args.threshold)
+        for line in report:
+            print(line)
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        return 1 if regressions else 0
     doc = run_bench(
         names=args.names,
         quick=args.quick,

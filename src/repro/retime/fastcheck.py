@@ -8,7 +8,12 @@ everything in numpy arrays:
 * the static arrays (edge constraints, host-equality constraints) are
   extracted once per graph;
 * per probe, the clocking pairs ``D > T`` are masked directly out of
-  the W/D matrices;
+  the W/D matrices, then reduced with the witness prune
+  (:func:`repro.retime.constraints._prune_keep_mask`): a pruned pair
+  is implied by a kept pair plus edge-constraint chains, so dropping
+  it changes neither the solution set nor the Bellman–Ford distances,
+  while cutting the arc count by ~99% on the larger circuits; the
+  pruned arrays are cached per period across probes;
 * feasibility is decided by a vectorised Bellman–Ford on the
   difference-constraint graph (``r(u) - r(v) <= b`` becomes arc
   ``v -> u`` with weight ``b``; distances from an implicit all-zero
@@ -35,7 +40,14 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import NegativeCycleError, bellman_ford
 
 from repro.netlist.graph import CircuitGraph
+from repro.retime.constraints import _prune_keep_mask
 from repro.retime.wd import WDMatrices
+
+#: Relaxation rounds granted to the raw (unpruned) arc arrays before
+#: :meth:`FeasibilityChecker.refine` switches to the pruned set — well
+#: above what a good warm start needs, well below the ``n``-round tail
+#: an infeasible probe would drag the full arrays through.
+_REFINE_WARM_ROUNDS = 24
 
 
 @dataclasses.dataclass
@@ -57,6 +69,12 @@ class FeasibilityChecker:
     src_rows: np.ndarray  # virtual-source arcs, shared by every probe
     src_cols: np.ndarray
     src_data: np.ndarray
+    #: Per-period (u, v, b) probe arrays. Binary searches probe only a
+    #: few dozen distinct periods, so the cache stays small; the arrays
+    #: themselves are post-prune, i.e. a few thousand arcs.
+    arc_cache: Dict[float, Tuple[np.ndarray, np.ndarray, np.ndarray]] = (
+        dataclasses.field(default_factory=dict)
+    )
 
     @classmethod
     def build(cls, graph: CircuitGraph, wd: WDMatrices) -> "FeasibilityChecker":
@@ -95,15 +113,35 @@ class FeasibilityChecker:
 
     # ------------------------------------------------------------------
     def _probe_arrays(
-        self, period: float
+        self, period: float, prune: bool = True
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Constraint arrays for one period.
+
+        With ``prune=True`` (the cold-solve path), clocking pairs
+        implied by a witness pair plus edge chains
+        (:func:`repro.retime.constraints._prune_keep_mask`) are dropped
+        before the solve: the pruned system has the same solution set,
+        so verdicts *and* Bellman–Ford distances are unchanged while
+        the arc count falls by ~99% on the larger Table-1 circuits.
+        Pruned arrays are small and cached per period; unpruned arrays
+        are rebuilt on demand (they can run to megabytes per period).
+        """
+        cached = self.arc_cache.get(period)
+        if cached is not None:
+            return cached
         mask = np.isfinite(self.wd.d) & (self.wd.d > period)
         np.fill_diagonal(mask, False)
         rows, cols = np.nonzero(mask)
+        if prune and rows.size:
+            kept = _prune_keep_mask(self.wd, period, rows, cols)
+            rows = rows[kept]
+            cols = cols[kept]
         bounds = self.wd.w[rows, cols].astype(np.int64) - 1
         u = np.concatenate([self.static_u, rows])
         v = np.concatenate([self.static_v, cols])
         b = np.concatenate([self.static_b, bounds])
+        if prune:
+            self.arc_cache[period] = (u, v, b)
         return u, v, b
 
     def check(self, period: float) -> Optional[np.ndarray]:
@@ -168,41 +206,86 @@ class FeasibilityChecker:
         negative cycle, i.e. infeasibility. A second sound cutoff fires
         earlier in practice: every bound is ``>= -1``, so feasible
         labels never drop more than ``ptp(start) + n`` below start.
+
+        Cost strategy: a good warm start converges within a few rounds,
+        where the witness prune would cost more than the whole
+        relaxation — so the first rounds run over the raw arc arrays.
+        Infeasible (or badly warmed) probes keep large frontiers alive
+        for up to ``n`` rounds, and there the per-round arc traffic
+        dominates: past a small round cap the relaxation restarts its
+        frontier on the pruned arc set and continues from the labels
+        reached so far. Both arc sets describe the same solution set
+        and relaxation is monotone, so the verdict and the final labels
+        are independent of where the switch happens.
         """
         if self.max_delay > period:
             return None
-        u, v, b = self._probe_arrays(period)
+        r = np.array(start, dtype=np.int64)
+        base = r.copy()
+        worst = int(np.ptp(r)) + self.n + 1 if self.n else 0
+        pruned = period in self.arc_cache
+        arcs = self._probe_arrays(period, prune=pruned)
+        budget = _REFINE_WARM_ROUNDS if not pruned else self.n + 2
+        rounds = 0
+        while True:
+            status = self._relax(arcs, r, base, worst, budget)
+            if status == "converged":
+                return r
+            if status == "infeasible":
+                return None
+            rounds += budget
+            if pruned and rounds >= self.n + 2:
+                # Still changing after n + 2 full rounds on one arc
+                # set: negative cycle.
+                return None
+            arcs = self._probe_arrays(period, prune=True)
+            pruned = True
+            rounds = 0
+            budget = self.n + 2
+
+    def _relax(
+        self,
+        arcs: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        r: np.ndarray,
+        base: np.ndarray,
+        worst: int,
+        budget: int,
+    ) -> str:
+        """Run up to ``budget`` relaxation rounds in place on ``r``.
+
+        Returns ``"converged"`` (no arc can relax further),
+        ``"infeasible"`` (labels fell past the sound ``worst`` cutoff),
+        or ``"budget"`` (rounds exhausted, ``r`` holds progress so far).
+        """
+        u, v, b = arcs
         order = np.argsort(v, kind="stable")
         u = u[order]
         v = v[order]
         b = b[order]
         indptr = np.zeros(self.n + 1, dtype=np.int64)
         np.cumsum(np.bincount(v, minlength=self.n), out=indptr[1:])
-        r = np.array(start, dtype=np.int64)
-        base = r.copy()
-        worst = int(np.ptp(r)) + self.n + 1 if self.n else 0
         frontier = np.ones(self.n, dtype=bool)
-        for _ in range(self.n + 2):
+        for _ in range(budget):
             src = np.nonzero(frontier)[0]
             starts = indptr[src]
             counts = indptr[src + 1] - starts
             total = int(counts.sum())
             if total == 0:
-                return r
+                return "converged"
             shift = np.cumsum(counts) - counts
             eidx = np.repeat(starts - shift, counts) + np.arange(total)
             au = u[eidx]
             cand = r[v[eidx]] + b[eidx]
             viol = cand < r[au]
             if not viol.any():
-                return r
+                return "converged"
             au = au[viol]
             np.minimum.at(r, au, cand[viol])
             frontier[:] = False
             frontier[au] = True
             if int((base - r).max()) > worst:
-                return None
-        return None
+                return "infeasible"
+        return "budget"
 
     def labels(self, period: float) -> Optional[Dict[str, int]]:
         """Like :meth:`check` but mapped back to unit names.

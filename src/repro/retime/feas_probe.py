@@ -97,6 +97,10 @@ class FeasProbe:
     #: FEAS rounds consumed by the most recent probe — observability
     #: only (the min-period search reports it per probe span).
     last_rounds: int = 0
+    #: Scratch boolean buffer reused by :meth:`_arrival` to deduplicate
+    #: each level's frontier without a per-level ``np.unique`` sort;
+    #: always all-``False`` between calls.
+    _mark: Optional[np.ndarray] = dataclasses.field(default=None, repr=False)
 
     @classmethod
     def build(cls, graph: CircuitGraph) -> "FeasProbe":
@@ -171,23 +175,46 @@ class FeasProbe:
 
     def _arrival(self, active: np.ndarray) -> np.ndarray:
         """Arrival times over the ``active`` (zero-retimed-weight) edges
-        by a level-synchronous Kahn pass."""
+        by a level-synchronous Kahn pass.
+
+        The active subgraph gets its own CSR built once per call
+        (``eu`` is source-sorted, so masking preserves the sort), which
+        removes the per-level ``active[eidx]`` filter; the next
+        frontier is deduplicated through a reusable boolean scatter
+        buffer instead of ``np.unique`` — both yield the same sorted
+        vertex sets, so arrival times are bit-identical to the naive
+        pass (``max`` is exact).
+        """
         n = self.n
         delta = self.delays.copy()
         if self.eu.size == 0 or not active.any():
             return delta
-        indeg = np.bincount(self.ev[active], minlength=n)
+        aeu = self.eu[active]
+        aev = self.ev[active]
+        aptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(aeu, minlength=n), out=aptr[1:])
+        indeg = np.bincount(aev, minlength=n)
+        mark = self._mark
+        if mark is None or mark.size != n:
+            mark = self._mark = np.zeros(n, dtype=bool)
+        delays = self.delays
         frontier = np.flatnonzero(indeg == 0)
         while frontier.size:
-            eidx = self._gather_edges(frontier)
-            eidx = eidx[active[eidx]]
-            if eidx.size == 0:
+            starts = aptr[frontier]
+            counts = aptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
                 break
-            tgt = self.ev[eidx]
-            np.maximum.at(delta, tgt, delta[self.eu[eidx]] + self.delays[tgt])
+            offs = np.cumsum(counts)
+            eidx = np.repeat(starts - offs + counts, counts)
+            eidx += np.arange(total)
+            tgt = aev[eidx]
+            np.maximum.at(delta, tgt, delta[aeu[eidx]] + delays[tgt])
             np.subtract.at(indeg, tgt, 1)
-            nxt = np.unique(tgt)
-            frontier = nxt[indeg[nxt] == 0]
+            mark[tgt] = True
+            cand = np.flatnonzero(mark)
+            mark[cand] = False
+            frontier = cand[indeg[cand] == 0]
         if indeg.max(initial=0) > 0:
             raise RetimingError(
                 "zero-weight cycle; period feasibility undefined"

@@ -130,16 +130,20 @@ def _feas_search(
     boundary certification through the Bellman–Ford checker: FEAS's
     infeasibility certificate needs up to ``|V|`` increments of one
     vertex and increments interleave, so certifying a near-feasible
-    period can take several thousand rounds where one dense check is
-    cheaper. Without fallback (``prober="feas"``) the certification is
-    the sound FEAS probe itself.
+    period can take several thousand rounds where one warm-started
+    exact relaxation (:meth:`FeasibilityChecker.refine`, seeded with
+    the witness of the best verified period) converges in a handful of
+    rounds over the pruned constraint arcs. Without fallback
+    (``prober="feas"``) the certification is the sound FEAS probe
+    itself.
     """
     checker: Optional[FeasibilityChecker] = None
+    perm: Optional[np.ndarray] = None  # engine position -> wd position
 
     def sound_probe(
         idx: int, start: Optional[np.ndarray]
     ) -> Optional[np.ndarray]:
-        nonlocal checker
+        nonlocal checker, perm
         with tracer.span(
             "feas/certify",
             t=candidates[idx],
@@ -151,14 +155,14 @@ def _feas_search(
             else:
                 if checker is None:
                     checker = FeasibilityChecker.build(graph, wd)
-                labels = checker.labels(candidates[idx])
-                raw = (
-                    None
-                    if labels is None
-                    else np.array(
-                        [labels[v] for v in engine.order], dtype=np.int64
+                    perm = np.array(
+                        [wd.index[v] for v in engine.order], dtype=np.int64
                     )
-                )
+                warm = np.zeros(engine.n, dtype=np.int64)
+                if start is not None:
+                    warm[perm] = start
+                refined = checker.refine(candidates[idx], warm)
+                raw = None if refined is None else refined[perm]
             span.set(verdict="infeasible" if raw is None else "feasible")
         return raw
 

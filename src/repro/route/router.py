@@ -122,13 +122,47 @@ def nets_from_graph(
 
 
 class GlobalRouter:
-    """PathFinder-lite router over a :class:`TileGrid`."""
+    """PathFinder-lite router over a :class:`TileGrid`.
+
+    Hot-loop state is flat: cells are numbered ``col * n_rows + row``
+    (which sorts exactly like the ``(col, row)`` tuples, so heap
+    tie-breaks — and therefore routes — are identical to the historical
+    tuple-keyed Dijkstra), the lattice adjacency is prebuilt once, and
+    per-cell arc costs live in a flat list that commits and history
+    bumps update in place. The ``usage``/``history`` dicts remain the
+    public source of truth; public entry points re-sync the cost array
+    from them so callers may mutate the dicts directly.
+    """
 
     def __init__(self, grid: TileGrid, history_weight: float = 0.5):
         self.grid = grid
         self.history_weight = history_weight
         self.usage: Dict[Cell, int] = {}
         self.history: Dict[Cell, float] = {}
+        self._n_rows = grid.n_rows
+        n = grid.n_cols * grid.n_rows
+        self._cap: List[int] = [0] * n
+        self._nbrs: List[List[int]] = [[] for _ in range(n)]
+        for c in range(grid.n_cols):
+            for r in range(grid.n_rows):
+                cid = c * grid.n_rows + r
+                self._cap[cid] = self.track_capacity((c, r))
+                nbrs = self._nbrs[cid]
+                # Same order as TileGrid.neighbours.
+                if c > 0:
+                    nbrs.append(cid - grid.n_rows)
+                if c + 1 < grid.n_cols:
+                    nbrs.append(cid + grid.n_rows)
+                if r > 0:
+                    nbrs.append(cid - 1)
+                if r + 1 < grid.n_rows:
+                    nbrs.append(cid + 1)
+        # Cost of an untouched cell: usage 0, history 0.
+        self._base: List[float] = [
+            1.0 + max(0.0, (1 - cap)) * 2.0 + self.history_weight * 0.0
+            for cap in self._cap
+        ]
+        self._cost: List[float] = list(self._base)
 
     # ------------------------------------------------------------------
     def track_capacity(self, cell: Cell) -> int:
@@ -141,42 +175,73 @@ class GlobalRouter:
         present = 1.0 + max(0.0, (use + 1 - cap)) * 2.0
         return present + self.history_weight * self.history.get(cell, 0.0)
 
+    def _refresh_cell(self, cell: Cell) -> None:
+        """Re-derive one cell's arc cost after a usage/history change."""
+        self._cost[cell[0] * self._n_rows + cell[1]] = self._cell_cost(cell)
+
+    def _sync_costs(self) -> None:
+        """Rebuild the flat cost array from the public dicts."""
+        self._cost = list(self._base)
+        for cell in self.usage:
+            self._refresh_cell(cell)
+        for cell in self.history:
+            if cell not in self.usage:
+                self._refresh_cell(cell)
+
     def _maze_route(self, start: Cell, goal: Cell) -> List[Cell]:
         """Dijkstra from start to goal over the lattice."""
+        self._sync_costs()
+        return self._maze_route_fast(start, goal)
+
+    def _maze_route_fast(self, start: Cell, goal: Cell) -> List[Cell]:
+        """Dijkstra over the flat arrays; costs must be in sync."""
         if start == goal:
             return [start]
-        dist: Dict[Cell, float] = {start: 0.0}
-        prev: Dict[Cell, Cell] = {}
-        heap = [(0.0, start)]
-        seen: Set[Cell] = set()
+        n_rows = self._n_rows
+        sid = start[0] * n_rows + start[1]
+        gid = goal[0] * n_rows + goal[1]
+        cost = self._cost
+        nbrs = self._nbrs
+        inf = float("inf")
+        dist = [inf] * len(cost)
+        prev = [-1] * len(cost)
+        seen = [False] * len(cost)
+        dist[sid] = 0.0
+        heap = [(0.0, sid)]
+        push = heapq.heappush
+        pop = heapq.heappop
         while heap:
-            d, cell = heapq.heappop(heap)
-            if cell in seen:
+            d, cid = pop(heap)
+            if seen[cid]:
                 continue
-            if cell == goal:
+            if cid == gid:
                 break
-            seen.add(cell)
-            for nxt in self.grid.neighbours(cell):
-                nd = d + self._cell_cost(nxt)
-                if nd < dist.get(nxt, float("inf")):
-                    dist[nxt] = nd
-                    prev[nxt] = cell
-                    heapq.heappush(heap, (nd, nxt))
-        if goal not in dist:
+            seen[cid] = True
+            for nid in nbrs[cid]:
+                nd = d + cost[nid]
+                if nd < dist[nid]:
+                    dist[nid] = nd
+                    prev[nid] = cid
+                    push(heap, (nd, nid))
+        if dist[gid] == inf:
             raise RoutingError(f"no route {start} -> {goal}")
-        path = [goal]
-        while path[-1] != start:
-            path.append(prev[path[-1]])
-        return list(reversed(path))
+        path_ids = [gid]
+        while path_ids[-1] != sid:
+            path_ids.append(prev[path_ids[-1]])
+        return [
+            (cid // n_rows, cid % n_rows) for cid in reversed(path_ids)
+        ]
 
     # ------------------------------------------------------------------
-    def _embed_net(self, net: Net) -> RoutedNet:
+    def _embed_net(self, net: Net, synced: bool = False) -> RoutedNet:
+        if not synced:
+            self._sync_costs()
         pins = [net.driver_cell] + [net.sink_cells[s] for s in net.sinks]
         topology = steiner_tree(pins)
         cells: Set[Cell] = set(pins)
         segment_paths: Dict[Tuple[Cell, Cell], List[Cell]] = {}
         for a, b in topology:
-            path = self._maze_route(a, b)
+            path = self._maze_route_fast(a, b)
             segment_paths[(a, b)] = path
             cells.update(path)
 
