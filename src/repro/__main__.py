@@ -16,6 +16,11 @@ Commands:
   certificate). ``--inject-result-fault KIND`` corrupts each loaded
   outcome in memory first — the CI smoke test that the audit rejects
   what it must;
+* ``cache``            — manage the compiled-circuit cache
+  (``repro-compile/1`` artifacts used by ``plan``/``table1``/``bench``
+  via ``--cache-dir``): ``cache info`` lists artifacts, ``cache
+  clear`` empties the store, ``cache prewarm`` populates it by
+  planning the Table-1 suite once;
 * ``circuits``         — list the benchmark suite;
 * ``trace``            — work with ``repro-trace/1`` files written by
   ``plan --trace``: ``trace summarize`` renders the span tree, stage
@@ -88,6 +93,10 @@ def _cmd_plan(args) -> int:
     if args.quick:
         overrides["floorplan_iterations"] = 300
         iterations = 1
+    if args.no_cache:
+        overrides["compile_cache"] = "off"
+    elif args.cache_dir:
+        overrides["compile_cache_dir"] = args.cache_dir
 
     checkpoint = (
         CheckpointManager(args.checkpoint_dir, resume=args.resume)
@@ -171,6 +180,10 @@ def _cmd_table1(args) -> int:
         argv += ["--checkpoint-dir", args.checkpoint_dir]
     if args.resume:
         argv.append("--resume")
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
     return table1_main(argv)
 
 
@@ -189,6 +202,10 @@ def _cmd_bench(args) -> int:
     argv += ["--engine", args.engine, "--out", args.out]
     if args.min_stage_coverage is not None:
         argv += ["--min-stage-coverage", str(args.min_stage_coverage)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
     return bench_main(argv)
 
 
@@ -260,6 +277,84 @@ def _cmd_trace(args) -> int:
     except TraceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+
+
+def _cmd_cache(args) -> int:
+    from repro.compile import CompileCache
+
+    cache = CompileCache(args.cache_dir, mode="auto")
+    if args.cache_command == "info":
+        entries = cache.entries()
+        if not entries:
+            print(f"{args.cache_dir}: empty compile cache")
+            return EXIT_OK
+        total = 0
+        for e in entries:
+            if "error" in e:
+                print(f"{e['path']}: {e['error']}")
+                continue
+            total += e["size_bytes"]
+            t_min = e.get("t_min")
+            t_min_s = f"{t_min:.3f}" if isinstance(t_min, (int, float)) else "-"
+            print(
+                f"{e['fingerprint'][:16]}  {e.get('circuit', '?'):>16} "
+                f"n={e.get('n', '?'):>5} t_min={t_min_s:>8} "
+                f"periods={len(e.get('periods') or [])} "
+                f"{e['size_bytes'] / 1024:.0f} KiB"
+            )
+        print(
+            f"{len(entries)} artifact(s), {total / 1024:.0f} KiB in "
+            f"{args.cache_dir}"
+        )
+        return EXIT_OK
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifact(s) from {args.cache_dir}")
+        return EXIT_OK
+    # prewarm: compile (and solve-enrich) the suite into the cache by
+    # running the same plans table1 runs, so a later table1/bench run
+    # over the same settings hits on every iteration.
+    from repro.errors import ReproError
+    from repro.experiments import TABLE1_CIRCUITS, get_circuit
+    from repro.core import plan_interconnect
+
+    try:
+        specs = (
+            [get_circuit(name) for name in args.names]
+            if args.names
+            else list(TABLE1_CIRCUITS)
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+    failed = 0
+    for spec in specs:
+        overrides = {"floorplan_iterations": 300} if args.quick else {}
+        misses0 = cache.stats.misses
+        try:
+            plan_interconnect(
+                spec.build(),
+                seed=spec.seed,
+                whitespace=spec.whitespace,
+                n_blocks=spec.n_blocks,
+                max_iterations=1 if args.quick else 2,
+                compile_cache=cache,
+                **overrides,
+            )
+        except ReproError as exc:
+            failed += 1
+            print(f"{spec.name:>8}: FAILED ({type(exc).__name__}: {exc})")
+            continue
+        compiled = cache.stats.misses - misses0
+        print(
+            f"{spec.name:>8}: "
+            + (f"compiled {compiled} artifact(s)" if compiled else "already warm")
+        )
+    print(
+        f"cache at {args.cache_dir}: {len(cache.entries())} artifact(s), "
+        f"{cache.stats.misses} compiled this run"
+    )
+    return EXIT_OK if failed == 0 else 1
 
 
 def _cmd_circuits(_args) -> int:
@@ -340,6 +435,18 @@ def main(argv=None) -> int:
         help="write a portable repro-verify-outcome/1 snapshot of the "
         "outcome, auditable later with `verify FILE`",
     )
+    p_plan.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="reuse compiled-circuit artifacts (repro-compile/1) from DIR; "
+        "results are bit-identical with and without the cache",
+    )
+    p_plan.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compiled-circuit cache entirely",
+    )
     p_plan.set_defaults(func=_cmd_plan)
 
     p_table = sub.add_parser(
@@ -382,6 +489,17 @@ def main(argv=None) -> int:
         help="certify every circuit's plan; a failed certificate counts "
         "as a circuit failure and the batch exits 5",
     )
+    p_table.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="reuse compiled-circuit artifacts from DIR (see `cache`)",
+    )
+    p_table.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compiled-circuit cache",
+    )
     p_table.set_defaults(func=_cmd_table1)
 
     p_bench = sub.add_parser(
@@ -418,6 +536,18 @@ def main(argv=None) -> int:
         help="with --compare: allowed total wall-clock regression "
         "(default 0.10)",
     )
+    p_bench.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="share a compiled-circuit cache across the benched circuits "
+        "and record hit/miss counts in the report",
+    )
+    p_bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compiled-circuit cache",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_verify = sub.add_parser(
@@ -441,6 +571,42 @@ def main(argv=None) -> int:
         "the audit must then exit 5",
     )
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect, clear, or prewarm the compiled-circuit cache "
+        "(repro-compile/1 artifacts)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_info = cache_sub.add_parser(
+        "info", help="list cached artifacts (circuit, size, solve state)"
+    )
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="remove every cached artifact"
+    )
+    p_cache_prewarm = cache_sub.add_parser(
+        "prewarm",
+        help="populate the cache by planning the Table-1 suite (or a "
+        "subset) once; later runs with the same settings hit",
+    )
+    p_cache_prewarm.add_argument(
+        "names", nargs="*", help="subset of circuit names (default: all)"
+    )
+    p_cache_prewarm.add_argument(
+        "--quick",
+        action="store_true",
+        help="prewarm for --quick runs (short anneal, one iteration); "
+        "quick and full runs expand different graphs, so their "
+        "artifacts are distinct",
+    )
+    for p in (p_cache_info, p_cache_clear, p_cache_prewarm):
+        p.add_argument(
+            "--cache-dir",
+            required=True,
+            metavar="DIR",
+            help="compiled-circuit cache directory",
+        )
+        p.set_defaults(func=_cmd_cache)
 
     p_list = sub.add_parser("circuits", help="list the benchmark suite")
     p_list.set_defaults(func=_cmd_circuits)

@@ -80,6 +80,7 @@ def lac_retiming(
     incremental: bool = True,
     solver_engine: str = "auto",
     tracer=None,
+    compiled=None,
 ) -> LACResult:
     """Run the paper's LAC-retiming heuristic.
 
@@ -112,6 +113,9 @@ def lac_retiming(
             min-area round becomes a ``lac/round`` span carrying the
             round's ``N_FOA``/``N_F``, weighted-FF objective, per-tile
             violations and weight spread.
+        compiled: Optional :class:`repro.compile.CompiledCircuit` of
+            this graph; supplies precomputed pruned clocking pairs and
+            the incremental solver's gather arrays.
 
     Raises:
         InfeasiblePeriodError: ``period`` is unachievable (from the
@@ -126,11 +130,13 @@ def lac_retiming(
     if n_max < 1:
         raise ValueError(f"n_max must be >= 1, got {n_max}")
     if system is None:
-        if wd is None:
+        if wd is None and compiled is None:
             wd = wd_matrices(graph)
         # Clocking constraints are generated once — the heuristic's key
         # run-time property (Section 4.2).
-        system = build_constraint_system(graph, wd, period, prune=prune)
+        system = build_constraint_system(
+            graph, wd, period, prune=prune, compiled=compiled
+        )
 
     solver: Optional[IncrementalMinArea] = None
     accountant: Optional[AreaAccountant] = None
@@ -138,7 +144,9 @@ def lac_retiming(
         # Network construction + Bellman–Ford happen once, here; an
         # infeasible system surfaces immediately as
         # InfeasiblePeriodError, matching the cold path's first round.
-        solver = IncrementalMinArea(graph, system, engine=solver_engine)
+        solver = IncrementalMinArea(
+            graph, system, engine=solver_engine, compiled=compiled
+        )
         accountant = AreaAccountant(graph, unit_region)
 
     regions = set(unit_region.values())

@@ -44,6 +44,7 @@ import logging
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.compile import CACHE_MODES, CompileCache
 from repro.core.lac import LACResult, lac_retiming
 from repro.core.metrics import AreaReport, area_report
 from repro.errors import InfeasiblePeriodError, PlanningError
@@ -65,8 +66,7 @@ from repro.resilience.runner import StageRunner, perturbed_seed
 from repro.retime.constraints import build_constraint_system
 from repro.retime.expand import ExpandedCircuit, expand_interconnects
 from repro.retime.minarea import RetimingResult, min_area_retiming
-from repro.retime.minperiod import PROBERS, clock_period, min_period_retiming
-from repro.retime.wd import WDMatrices, wd_matrices
+from repro.retime.minperiod import PROBERS, min_period_retiming
 from repro.route.router import GlobalRouter, nets_from_graph
 from repro.tech.params import DEFAULT_TECH, Technology
 from repro.tiles.grid import SOFT, TileGrid, build_tile_grid
@@ -106,6 +106,8 @@ class PlannerConfig:
     lac_solver_engine: str = "auto"  # "auto" | "highs" | "ssp"
     min_period_prober: str = "auto"  # "auto" | "feas" | "bellman-ford"
     trace_path: Optional[str] = None  # write a repro-trace/1 JSONL here
+    compile_cache_dir: Optional[str] = None  # compiled-circuit disk cache root
+    compile_cache: str = "auto"  # "auto" | "off" | "readonly"
 
 
 def validate_planner_config(config: PlannerConfig) -> None:
@@ -167,6 +169,11 @@ def validate_planner_config(config: PlannerConfig) -> None:
         raise PlanningError(
             "PlannerConfig.min_period_prober must be one of "
             f"{', '.join(PROBERS)}, got {config.min_period_prober!r}"
+        )
+    if config.compile_cache not in CACHE_MODES:
+        raise PlanningError(
+            "PlannerConfig.compile_cache must be one of "
+            f"{', '.join(CACHE_MODES)}, got {config.compile_cache!r}"
         )
 
 
@@ -331,6 +338,7 @@ def _run_iteration(
     index: int,
     t_clk: Optional[float] = None,
     runner: Optional[StageRunner] = None,
+    cache: Optional[CompileCache] = None,
 ) -> PlanningIteration:
     """Steps 3-8 on a given floorplan. ``t_clk`` fixes the target period
     (used by the second iteration); otherwise it is derived.
@@ -340,13 +348,15 @@ def _run_iteration(
     """
     if runner is None:
         runner = StageRunner(ResilienceConfig(degrade_t_clk=False))
+    if cache is None:
+        cache = CompileCache(config.compile_cache_dir, mode=config.compile_cache)
     tracer = runner.tracer
     outer_scope = runner.scope
     runner.scope = f"iteration {index}"
     try:
         with tracer.span("iteration", index=index) as span:
             iteration = _run_iteration_stages(
-                graph, partition, plan, config, index, t_clk, runner
+                graph, partition, plan, config, index, t_clk, runner, cache
             )
             span.set(
                 t_init=iteration.t_init,
@@ -369,6 +379,7 @@ def _run_iteration_stages(
     index: int,
     t_clk: Optional[float],
     runner: StageRunner,
+    cache: CompileCache,
 ) -> PlanningIteration:
     tracer = runner.tracer
     grid = runner.run("tiles", lambda _a: build_tile_grid(plan, config.tech))
@@ -455,14 +466,33 @@ def _run_iteration_stages(
 
     expanded = runner.run("expand", _expand)
 
-    wd = runner.run("wd", lambda _a: wd_matrices(expanded.graph))
-    t_init = runner.run(
-        "clock_period", lambda _a: clock_period(expanded.graph, wd)
-    )
+    def _compile(_a):
+        # The whole pure front half of the solve — W/D, candidate
+        # periods, FEAS arrays — keyed by the expanded graph's content.
+        artifact, hit = cache.get_or_compile(
+            expanded.graph,
+            tech=config.tech,
+            prune=config.prune,
+            prober=config.min_period_prober,
+        )
+        tracer.current.set(
+            cache="hit" if hit else "miss",
+            fingerprint=artifact.fingerprint[:16],
+            n_candidates=len(artifact.candidates),
+        )
+        return artifact
+
+    compiled = runner.run("compile", _compile)
+    wd = compiled.wd
+    t_init = compiled.t_init
     t_min, _ = runner.run(
         "min_period",
         lambda _a: min_period_retiming(
-            expanded.graph, wd, prober=config.min_period_prober, tracer=tracer
+            expanded.graph,
+            wd,
+            prober=config.min_period_prober,
+            tracer=tracer,
+            compiled=compiled,
         ),
     )
     requested = t_clk
@@ -476,7 +506,7 @@ def _run_iteration_stages(
         start = time.perf_counter()
         with tracer.span("retime/constraints", period=period, prune=prune) as sp:
             system = build_constraint_system(
-                expanded.graph, wd, period, prune=prune
+                expanded.graph, wd, period, prune=prune, compiled=compiled
             )
             sp.set(n_constraints=len(system.constraints))
         constraints_seconds = time.perf_counter() - start
@@ -510,6 +540,7 @@ def _run_iteration_stages(
                 incremental=config.lac_incremental,
                 solver_engine=config.lac_solver_engine,
                 tracer=tracer,
+                compiled=compiled,
             )
             sp.set(
                 n_wr=lac_result.n_wr,
@@ -559,6 +590,10 @@ def _run_iteration_stages(
         lambda a: _retime(a, prune=config.prune),
         fallbacks=fallbacks,
     )
+    # Persist whatever the solve added to the artifact (pruned pair
+    # sets, the min-period witness) so the next identical run replays
+    # the solve front half straight from disk.
+    cache.save(compiled)
 
     return PlanningIteration(
         index=index,
@@ -627,12 +662,24 @@ def plan_interconnect(
     tracer=None,
     checkpoint=None,
     verify: bool = False,
+    compile_cache: Optional[CompileCache] = None,
     **overrides,
 ) -> PlanningOutcome:
     """Run the full interconnect-planning flow on a circuit.
 
     Keyword overrides are applied on top of ``config`` (or the default
     config), e.g. ``plan_interconnect(g, seed=3, alpha=0.3)``.
+
+    ``compile_cache`` (a :class:`repro.compile.CompileCache`) serves
+    and stores the per-iteration compiled-circuit artifacts; when not
+    given, one is created from ``config.compile_cache_dir`` /
+    ``config.compile_cache`` (with no directory configured that is a
+    process-local LRU only). Passing a mode string instead
+    (``compile_cache="off"``) sets the config field, mirroring the
+    other keyword overrides. The cache affects wall-clock, never
+    results: artifacts are content-addressed over the expanded graph,
+    tech and compile-relevant config, so a hit replays exactly what a
+    fresh compile+search would produce.
 
     With ``verify=True`` the finished outcome (fresh *or* restored
     from a checkpoint) is certified end-to-end by the independent
@@ -665,6 +712,11 @@ def plan_interconnect(
     """
     if config is None:
         config = PlannerConfig()
+    if isinstance(compile_cache, str):
+        # plan_interconnect(g, compile_cache="off") reads as a config
+        # override, like every other keyword; honour that.
+        overrides = {**overrides, "compile_cache": compile_cache}
+        compile_cache = None
     if overrides:
         config = dataclasses.replace(config, **overrides)
     validate_planner_config(config)
@@ -691,6 +743,10 @@ def plan_interconnect(
     runner = StageRunner(
         resilience, ledger, faults=faults, tracer=tracer, checkpoint=checkpoint
     )
+    if compile_cache is None:
+        compile_cache = CompileCache(
+            config.compile_cache_dir, mode=config.compile_cache
+        )
 
     hosts = set(graph.host_units())
     n_units = graph.num_units - len(hosts)
@@ -726,7 +782,13 @@ def plan_interconnect(
                     )
             if outcome is None:
                 outcome = _plan_stages(
-                    graph, config, max_iterations, runner, n_blocks, ledger
+                    graph,
+                    config,
+                    max_iterations,
+                    runner,
+                    n_blocks,
+                    ledger,
+                    compile_cache,
                 )
                 if checkpoint is not None:
                     checkpoint.commit_outcome(outcome)
@@ -768,6 +830,7 @@ def _plan_stages(
     runner: StageRunner,
     n_blocks: int,
     ledger: RunLedger,
+    cache: Optional[CompileCache] = None,
 ) -> PlanningOutcome:
     """The planning flow proper, run inside the root ``plan`` span."""
     tracer = runner.tracer
@@ -795,7 +858,9 @@ def _plan_stages(
     )
 
     iterations: List[PlanningIteration] = []
-    first = _run_iteration(graph, partition, plan, config, index=1, runner=runner)
+    first = _run_iteration(
+        graph, partition, plan, config, index=1, runner=runner, cache=cache
+    )
     iterations.append(first)
 
     current = first
@@ -834,6 +899,7 @@ def _plan_stages(
             index=len(iterations) + 1,
             t_clk=first.t_clk,
             runner=runner,
+            cache=cache,
         )
         iterations.append(current)
 

@@ -470,6 +470,18 @@ def main(argv=None) -> int:
         help="independently certify each circuit's plan; a failing "
         "certificate counts as a circuit failure and the batch exits 5",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="compiled-circuit cache directory: reuse compiled artifacts "
+        "(W/D, pruned constraints, min-period witnesses) across runs",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compiled-circuit cache entirely",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
@@ -487,9 +499,11 @@ def main(argv=None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    overrides = (
-        {"floorplan_iterations": 300} if args.quick else None
-    )
+    overrides = {"floorplan_iterations": 300} if args.quick else {}
+    if args.no_cache:
+        overrides["compile_cache"] = "off"
+    elif args.cache_dir:
+        overrides["compile_cache_dir"] = args.cache_dir
     install_interrupt_handlers()
     batch = run_table1_resilient(
         specs,

@@ -1,9 +1,9 @@
 """The ``repro bench`` runner: planner timings as ``BENCH_<n>.json``.
 
-Each run produces one JSON document (schema ``repro-bench/2``)::
+Each run produces one JSON document (schema ``repro-bench/3``)::
 
     {
-      "schema": "repro-bench/2",
+      "schema": "repro-bench/3",
       "mode": "warm" | "cold",        # incremental LAC solver on/off
       "engine": "auto" | "highs" | "ssp",
       "quick": bool,
@@ -24,12 +24,20 @@ Each run produces one JSON document (schema ``repro-bench/2``)::
     }
 
 Schema ``/2`` additions over ``/1``: circuit construction is recorded
-as a ``build`` stage, the planner records ``wd``, ``clock_period``,
+as a ``build`` stage, the planner records the solve front half,
 ``min_period`` and ``retime/constraints`` as first-class stages, and
 every entry carries ``stage_coverage`` — the fraction of its wall
 clock accounted for by recorded top-level stages. A coverage floor can
 be enforced with ``--min-stage-coverage`` (CI uses it to catch new
 unrecorded bottlenecks).
+
+Schema ``/3`` additions over ``/2``: the compiled-circuit cache
+(:mod:`repro.compile`) is surfaced — the document carries ``"cache"``
+(``"auto"`` with ``--cache-dir``, else ``"off"``), each ok entry
+carries ``cache_hits``/``cache_misses`` plus ``compile_seconds`` and
+``solve_seconds`` (the compile-vs-solve split of the retiming stages),
+and the totals sum all four. ``--compare`` accepts ``/2`` documents:
+the new fields are absent there and simply not compared.
 
 Files are numbered ``BENCH_0.json``, ``BENCH_1.json``, ... — the next
 free integer in the output directory — so successive runs (e.g. a cold
@@ -49,6 +57,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.compile import CompileCache
 from repro.core.planner import plan_interconnect
 from repro.errors import ReproError
 from repro.experiments.circuits import (
@@ -60,11 +69,20 @@ from repro.experiments.circuits import (
 from repro.ioutil import atomic_write
 from repro.perf.recorder import PerfRecorder
 
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 
 #: Planner overrides for ``--quick`` (CI smoke): a short floorplan
 #: anneal and a single planning iteration.
 QUICK_OVERRIDES = {"floorplan_iterations": 300}
+
+
+def _stage_leaf(name: str) -> str:
+    """Strip the scope prefix off a ledger stage name."""
+    return name.rsplit(" · ", 1)[-1]
+
+
+#: Stage leaves that make up the retiming *solve* half.
+_SOLVE_STAGES = {"min_period", "retime"}
 
 
 def bench_circuit(
@@ -72,14 +90,22 @@ def bench_circuit(
     quick: bool = False,
     cold: bool = False,
     engine: str = "auto",
+    cache: Optional[CompileCache] = None,
 ) -> Dict[str, object]:
-    """Bench one circuit; returns its entry for the JSON document."""
+    """Bench one circuit; returns its entry for the JSON document.
+
+    ``cache`` is the compiled-circuit cache shared across the bench
+    run; without one the cache is off, so every run compiles fresh.
+    """
     perf = PerfRecorder()
+    if cache is None:
+        cache = CompileCache(None, mode="off")
     overrides: Dict[str, object] = {"lac_incremental": not cold}
     if not cold:
         overrides["lac_solver_engine"] = engine
     if quick:
         overrides.update(QUICK_OVERRIDES)
+    hits0, misses0 = cache.stats.hits, cache.stats.misses
     start = time.perf_counter()
     try:
         with perf.stage("build"):
@@ -91,6 +117,7 @@ def bench_circuit(
             whitespace=spec.whitespace,
             n_blocks=spec.n_blocks,
             perf=perf,
+            compile_cache=cache,
             **overrides,
         )
     except ReproError as exc:
@@ -103,6 +130,13 @@ def bench_circuit(
     wall = time.perf_counter() - start
     first = outcome.iterations[0]
     lac = first.lac
+    stages = perf.to_dict()["stages"]
+    compile_seconds = sum(
+        float(s["seconds"]) for s in stages if _stage_leaf(s["name"]) == "compile"
+    )
+    solve_seconds = sum(
+        float(s["seconds"]) for s in stages if _stage_leaf(s["name"]) in _SOLVE_STAGES
+    )
     return {
         "name": spec.name,
         "ok": True,
@@ -121,9 +155,13 @@ def bench_circuit(
             [round(s, 6) for s in lac.round_seconds] if lac is not None else []
         ),
         "solver": lac.solver_stats if lac is not None else None,
-        "stages": perf.to_dict()["stages"],
+        "stages": stages,
         "stage_coverage": round(perf.total_seconds / wall, 4) if wall else 1.0,
         "wall_seconds": round(wall, 6),
+        "cache_hits": cache.stats.hits - hits0,
+        "cache_misses": cache.stats.misses - misses0,
+        "compile_seconds": round(compile_seconds, 6),
+        "solve_seconds": round(solve_seconds, 6),
     }
 
 
@@ -133,15 +171,29 @@ def run_bench(
     cold: bool = False,
     engine: str = "auto",
     verbose: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Bench a set of circuits and return the full document."""
+    """Bench a set of circuits and return the full document.
+
+    With ``cache_dir`` the compiled-circuit cache is on (mode
+    ``"auto"``): a first run populates it, a second run over the same
+    circuits is the cache-warm timing. Without it the cache is off and
+    every circuit compiles from scratch — the cold timing.
+    """
     if names:
         specs = [get_circuit(n) for n in names]
     else:
         specs = list(TABLE1_SMOKE if quick else TABLE1_CIRCUITS)
+    cache = (
+        CompileCache(cache_dir, mode="auto")
+        if cache_dir
+        else CompileCache(None, mode="off")
+    )
     entries: List[Dict[str, object]] = []
     for spec in specs:
-        entry = bench_circuit(spec, quick=quick, cold=cold, engine=engine)
+        entry = bench_circuit(
+            spec, quick=quick, cold=cold, engine=engine, cache=cache
+        )
         entries.append(entry)
         if verbose:
             if entry["ok"]:
@@ -160,12 +212,19 @@ def run_bench(
             sum(e["ma_seconds"] for e in ok if e["ma_seconds"] is not None), 6
         ),
         "n_wr": sum(e["n_wr"] for e in ok if e["n_wr"] is not None),
+        "cache_hits": sum(e.get("cache_hits", 0) for e in ok),
+        "cache_misses": sum(e.get("cache_misses", 0) for e in ok),
+        "compile_seconds": round(
+            sum(e.get("compile_seconds", 0.0) for e in ok), 6
+        ),
+        "solve_seconds": round(sum(e.get("solve_seconds", 0.0) for e in ok), 6),
     }
     return {
         "schema": BENCH_SCHEMA,
         "mode": "cold" if cold else "warm",
         "engine": "cold" if cold else engine,
         "quick": quick,
+        "cache": "auto" if cache_dir else "off",
         "circuits": entries,
         "totals": totals,
     }
@@ -212,6 +271,16 @@ def compare_bench(
     old_wall = float(old["totals"]["wall_seconds"])
     new_wall = float(new["totals"]["wall_seconds"])
     report.append(f"total wall: {fmt_delta(old_wall, new_wall)}")
+    # Cache counters exist from schema /3 on; older documents simply
+    # don't report them.
+    if "cache_hits" in old["totals"] or "cache_hits" in new["totals"]:
+        report.append(
+            "cache: "
+            f"old {old.get('cache', 'n/a')} "
+            f"(hits={old['totals'].get('cache_hits', 'n/a')}), "
+            f"new {new.get('cache', 'n/a')} "
+            f"(hits={new['totals'].get('cache_hits', 'n/a')})"
+        )
     if old_wall > 0 and new_wall > old_wall * (1.0 + threshold):
         regressions.append(
             f"total wall regressed beyond {threshold:.0%}: "
@@ -308,6 +377,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="output directory for BENCH_<n>.json",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="compiled-circuit cache directory (default: cache off — "
+        "cold compile timings)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force the compiled-circuit cache off (overrides --cache-dir)",
+    )
+    parser.add_argument(
         "--min-stage-coverage",
         type=float,
         default=None,
@@ -347,12 +428,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cold=args.cold,
         engine=args.engine,
         verbose=True,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
     path = write_bench(doc, Path(args.out))
     totals = doc["totals"]
     print(
-        f"wrote {path} (mode={doc['mode']}, "
-        f"lac={totals['lac_seconds']:.3f}s, wall={totals['wall_seconds']:.3f}s)"
+        f"wrote {path} (mode={doc['mode']}, cache={doc.get('cache', 'off')} "
+        f"hits={totals.get('cache_hits', 0)}, lac={totals['lac_seconds']:.3f}s, "
+        f"wall={totals['wall_seconds']:.3f}s)"
     )
     if args.min_stage_coverage is not None:
         low = [

@@ -85,6 +85,10 @@ def run_fingerprint(graph, config, max_iterations: int) -> str:
     cfg = dataclasses.asdict(config)
     cfg.pop("trace_path", None)
     cfg.pop("resilience", None)
+    # The compiled-circuit cache changes wall-clock, never results, so
+    # checkpoints are interchangeable across cache settings.
+    cfg.pop("compile_cache_dir", None)
+    cfg.pop("compile_cache", None)
     doc = {
         "schema": CKPT_SCHEMA,
         "graph": graph_to_dict(graph),

@@ -81,6 +81,18 @@ def host_constraints(graph: CircuitGraph) -> List[Constraint]:
     return out
 
 
+def clock_constraints_from_pairs(
+    wd: WDMatrices, rows: np.ndarray, cols: np.ndarray
+) -> List[Constraint]:
+    """Materialise Eqn. (2) constraints from index-pair arrays."""
+    bounds = wd.w[rows, cols].astype(np.int64) - 1
+    names = wd.order
+    return [
+        Constraint(names[i], names[j], int(b), "clock")
+        for i, j, b in zip(rows.tolist(), cols.tolist(), bounds.tolist())
+    ]
+
+
 def clock_constraints(
     graph: CircuitGraph,
     wd: WDMatrices,
@@ -97,14 +109,10 @@ def clock_constraints(
         raise InfeasiblePeriodError(
             period, f"a single unit has delay {max_d} > period {period}"
         )
-    pairs = wd.pairs_exceeding(period)
+    rows, cols = wd.pairs_exceeding_arrays(period)
     if prune:
-        pairs = prune_redundant(wd, period, pairs)
-    out = []
-    for i, j in pairs:
-        bound = int(wd.w[i, j]) - 1
-        out.append(Constraint(wd.order[i], wd.order[j], bound, "clock"))
-    return out
+        rows, cols = prune_redundant_arrays(wd, period, rows, cols)
+    return clock_constraints_from_pairs(wd, rows, cols)
 
 
 def _prune_keep_mask(
@@ -180,6 +188,17 @@ def _prune_keep_mask(
     return keep
 
 
+def prune_redundant_arrays(
+    wd: WDMatrices, period: float, src: np.ndarray, dst: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Array-native :func:`prune_redundant`: filter ``(src, dst)`` pair
+    arrays to the non-redundant subset, preserving order."""
+    if src.size == 0:
+        return src, dst
+    keep = _prune_keep_mask(wd, period, src, dst)
+    return src[keep], dst[keep]
+
+
 def prune_redundant(
     wd: WDMatrices, period: float, pairs: List[Tuple[int, int]]
 ) -> List[Tuple[int, int]]:
@@ -191,6 +210,8 @@ def prune_redundant(
     bounds ``W(u,x)`` / ``W(x,v)``. If additionally ``D(u,x) > T`` (or
     ``D(x,v) > T``) the clocking constraint through ``x`` composes with
     the chain to a bound ``<= W(u,v) - 1``, making ``(u, v)`` redundant.
+
+    Thin list wrapper over :func:`prune_redundant_arrays`.
     """
     if not pairs:
         return pairs
@@ -205,9 +226,20 @@ def build_constraint_system(
     wd: WDMatrices,
     period: Optional[float],
     prune: bool = False,
+    compiled=None,
 ) -> ConstraintSystem:
-    """Assemble edge + host (+ clocking, if a period is given) constraints."""
+    """Assemble edge + host (+ clocking, if a period is given) constraints.
+
+    When a :class:`repro.compile.CompiledCircuit` for the same graph is
+    supplied, the clocking pairs come from its per-period pruned-pair
+    cache (computed once per period, persisted in the artifact) instead
+    of being re-derived from the dense D matrix.
+    """
     constraints = edge_constraints(graph) + host_constraints(graph)
     if period is not None:
-        constraints += clock_constraints(graph, wd, period, prune=prune)
+        if compiled is not None:
+            rows, cols = compiled.clock_pairs(period, prune=prune)
+            constraints += clock_constraints_from_pairs(compiled.wd, rows, cols)
+        else:
+            constraints += clock_constraints(graph, wd, period, prune=prune)
     return ConstraintSystem(constraints=constraints, period=period)

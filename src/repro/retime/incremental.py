@@ -191,14 +191,23 @@ class IncrementalMinArea:
         graph: CircuitGraph,
         system: ConstraintSystem,
         engine: str = "auto",
+        compiled=None,
     ):
         if engine not in ("auto", "highs", "ssp"):
             raise ValueError(f"unknown engine {engine!r}")
         start = time.perf_counter()
         self.graph = graph
         self.system = system
-        self._order: List[str] = list(graph.units())
-        index = {u: i for i, u in enumerate(self._order)}
+        # A CompiledCircuit of the same graph already holds the vertex
+        # order, the objective gather arrays and the component list —
+        # reuse them instead of re-walking the graph.
+        reuse = compiled is not None and getattr(compiled, "n", -1) == graph.num_units
+        if reuse:
+            self._order: List[str] = list(compiled.order)
+            index = compiled.index
+        else:
+            self._order = list(graph.units())
+            index = {u: i for i, u in enumerate(self._order)}
         self._index = index
 
         # one arc per (u, v) pair, collapsed to the tightest bound —
@@ -215,15 +224,19 @@ class IncrementalMinArea:
 
         # objective machinery: each connection (u, v) adds the scaled
         # fanin weight A(u) to c_v and subtracts it from c_u.
-        conn_u = []
-        conn_v = []
-        for (u, v, _key), _w in graph.connections():
-            conn_u.append(index[u])
-            conn_v.append(index[v])
-        self._conn_u = np.asarray(conn_u, dtype=np.int64)
-        self._conn_v = np.asarray(conn_v, dtype=np.int64)
-
-        self._components = graph.weakly_connected_components()
+        if reuse:
+            self._conn_u = compiled.conn_u
+            self._conn_v = compiled.conn_v
+            self._components = compiled.components
+        else:
+            conn_u = []
+            conn_v = []
+            for (u, v, _key), _w in graph.connections():
+                conn_u.append(index[u])
+                conn_v.append(index[v])
+            self._conn_u = np.asarray(conn_u, dtype=np.int64)
+            self._conn_v = np.asarray(conn_v, dtype=np.int64)
+            self._components = graph.weakly_connected_components()
 
         # Bellman-Ford runs once whichever engine solves: it is the
         # feasibility check (negative constraint cycle) and it seeds

@@ -247,6 +247,7 @@ def _refine_exact(
     lower: Optional[float],
     checker: Optional[FeasibilityChecker],
     tracer=NOOP_TRACER,
+    exact: Optional[list] = None,
 ) -> Tuple[float, Dict[str, int]]:
     """Tighten a merged-candidate winner to the exact minimum.
 
@@ -259,7 +260,8 @@ def _refine_exact(
     (:meth:`FeasibilityChecker.refine`): a bisection over the handful
     of exact values between ``lower`` and ``period``.
     """
-    exact = candidate_periods(wd, tol=0.0)
+    if exact is None:
+        exact = candidate_periods(wd, tol=0.0)
     lo = bisect.bisect_right(exact, lower) if lower is not None else 0
     hi = bisect.bisect_left(exact, period)
     max_delay = wd.max_vertex_delay()
@@ -309,6 +311,7 @@ def min_period_retiming(
     wd: Optional[WDMatrices] = None,
     prober: str = "auto",
     tracer=None,
+    compiled=None,
 ) -> Tuple[float, RetimingResult]:
     """Find the minimum feasible period and a retiming achieving it.
 
@@ -327,6 +330,13 @@ def min_period_retiming(
     a ``min_period/search`` span; every budgeted probe, boundary
     certification and exact-tie refinement becomes a child span with
     its candidate period, verdict, and FEAS round count.
+
+    ``compiled`` (a :class:`repro.compile.CompiledCircuit` of this
+    graph) supplies the W/D matrices, candidate sets and FEAS arrays
+    precomputed; if it already carries a min-period witness from a
+    previous identical run, the search is skipped outright and the
+    witness replayed (the outcome is bit-identical — the witness *is*
+    the previous search's pre-normalise result).
     """
     if prober not in PROBERS:
         raise RetimingError(
@@ -334,45 +344,76 @@ def min_period_retiming(
         )
     if tracer is None:
         tracer = NOOP_TRACER
-    if wd is None:
-        wd = wd_matrices(graph)
-    candidates = candidate_periods(wd)
+    if compiled is not None:
+        wd = compiled.wd
+        candidates = compiled.candidates
+    else:
+        if wd is None:
+            wd = wd_matrices(graph)
+        candidates = candidate_periods(wd)
     if not candidates:
         raise RetimingError("graph has no paths; period undefined")
 
+    replay = (
+        compiled is not None
+        and compiled.t_min is not None
+        and compiled.t_min_labels is not None
+    )
     with tracer.span("min_period/search", prober=prober) as search:
-        engine: Optional[FeasProbe] = None
-        if prober in ("auto", "feas"):
-            try:
-                engine = FeasProbe.build(graph)
-            except RetimingError:
-                if prober == "feas":
-                    raise
-                log.debug(
-                    "FEAS engine unavailable for %s; using Bellman-Ford",
-                    graph.name,
-                )
-        if engine is not None:
-            period, labels, lower, checker = _feas_search(
-                engine,
-                graph,
-                wd,
-                candidates,
-                allow_fallback=(prober == "auto"),
-                tracer=tracer,
+        if replay:
+            period = compiled.t_min
+            labels: Dict[str, int] = dict(compiled.t_min_labels)
+            search.set(
+                engine="cache",
+                cache_hit=True,
+                n_candidates=len(candidates),
+                t_min=period,
             )
         else:
-            period, labels, lower, checker = _bellman_ford_search(
-                graph, wd, candidates, tracer=tracer
+            engine: Optional[FeasProbe] = None
+            if prober in ("auto", "feas"):
+                if compiled is not None and compiled.feas is not None:
+                    engine = compiled.feas_probe()
+                else:
+                    try:
+                        engine = FeasProbe.build(graph)
+                    except RetimingError:
+                        if prober == "feas":
+                            raise
+                        log.debug(
+                            "FEAS engine unavailable for %s; using Bellman-Ford",
+                            graph.name,
+                        )
+            if engine is not None:
+                period, labels, lower, checker = _feas_search(
+                    engine,
+                    graph,
+                    wd,
+                    candidates,
+                    allow_fallback=(prober == "auto"),
+                    tracer=tracer,
+                )
+            else:
+                period, labels, lower, checker = _bellman_ford_search(
+                    graph, wd, candidates, tracer=tracer
+                )
+            period, labels = _refine_exact(
+                graph,
+                wd,
+                period,
+                labels,
+                lower,
+                checker,
+                tracer=tracer,
+                exact=compiled.exact_candidates if compiled is not None else None,
             )
-        period, labels = _refine_exact(
-            graph, wd, period, labels, lower, checker, tracer=tracer
-        )
-        search.set(
-            engine="feas" if engine is not None else "bellman-ford",
-            n_candidates=len(candidates),
-            t_min=period,
-        )
+            if compiled is not None:
+                compiled.note_min_period(period, labels)
+            search.set(
+                engine="feas" if engine is not None else "bellman-ford",
+                n_candidates=len(candidates),
+                t_min=period,
+            )
     log.debug(
         "min-period search on %s: T_min=%.4f over %d candidates",
         graph.name,

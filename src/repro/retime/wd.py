@@ -55,11 +55,20 @@ class WDMatrices:
     w: np.ndarray
     d: np.ndarray
 
-    def pairs_exceeding(self, period: float) -> List[Tuple[int, int]]:
-        """Index pairs ``(i, j)``, ``i != j``, with ``D > period``."""
+    def pairs_exceeding_arrays(self, period: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Index pairs ``(i, j)``, ``i != j``, with ``D > period``, as a
+        ``(rows, cols)`` ndarray pair in row-major order."""
         mask = np.isfinite(self.d) & (self.d > period)
         np.fill_diagonal(mask, False)
-        rows, cols = np.nonzero(mask)
+        return np.nonzero(mask)
+
+    def pairs_exceeding(self, period: float) -> List[Tuple[int, int]]:
+        """List-of-tuples wrapper around :meth:`pairs_exceeding_arrays`.
+
+        Kept for compatibility; O(n^2) materialisation on large
+        circuits, so internal callers use the ndarray path.
+        """
+        rows, cols = self.pairs_exceeding_arrays(period)
         return list(zip(rows.tolist(), cols.tolist()))
 
     def max_vertex_delay(self) -> float:
@@ -67,7 +76,41 @@ class WDMatrices:
 
 
 def _scalarised_csr(graph: CircuitGraph, order: List[str]) -> Tuple[csr_matrix, float]:
-    """Build the scalarised cost matrix and return it with the base B."""
+    """Build the scalarised cost matrix and return it with the base B.
+
+    Parallel connections collapse to the minimum cost per ``(u, v)``
+    pair via a NumPy duplicate-pair reduction (lexsort by flattened
+    pair key, then ``minimum.reduceat`` over each run) instead of a
+    per-edge Python dict; :func:`_scalarised_csr_reference` keeps the
+    dict formulation for the equality test.
+    """
+    index = {v: i for i, v in enumerate(order)}
+    base = graph.total_delay() + 1.0
+    n = len(order)
+    edges = [(index[u], index[v], w) for (u, v, _key), w in graph.connections()]
+    if not edges:
+        return csr_matrix((n, n), dtype=np.float64), base
+    arr = np.asarray(edges, dtype=np.float64)
+    src = arr[:, 0].astype(np.int64)
+    dst = arr[:, 1].astype(np.int64)
+    delays = np.fromiter((graph.delay(v) for v in order), dtype=np.float64, count=n)
+    cost = arr[:, 2] * base - delays[src]
+    key = src * np.int64(n) + dst
+    rank = np.argsort(key, kind="stable")
+    key_sorted = key[rank]
+    first = np.empty(key_sorted.size, dtype=bool)
+    first[0] = True
+    np.not_equal(key_sorted[1:], key_sorted[:-1], out=first[1:])
+    starts = np.flatnonzero(first)
+    data = np.minimum.reduceat(cost[rank], starts)
+    keys = key_sorted[starts]
+    return csr_matrix((data, (keys // n, keys % n)), shape=(n, n)), base
+
+
+def _scalarised_csr_reference(
+    graph: CircuitGraph, order: List[str]
+) -> Tuple[csr_matrix, float]:
+    """Per-edge dict-loop reference for :func:`_scalarised_csr`."""
     index = {v: i for i, v in enumerate(order)}
     base = graph.total_delay() + 1.0
     best: Dict[Tuple[int, int], float] = {}

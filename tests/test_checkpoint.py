@@ -231,7 +231,7 @@ class TestResumeEquivalence:
         baseline = plan_interconnect(build_graph(), **plan_kwargs)
         base_sig = _signature(baseline)
         n_stages = len(baseline.ledger.records)
-        assert n_stages >= 10
+        assert n_stages >= 9
         for kill_at in range(1, n_stages + 1):
             ckdir = tmp_path / f"kill_{kill_at}"
             faults = FaultInjector(

@@ -178,3 +178,39 @@ class TestPruneVectorisedAgainstReference:
         g = random_circuit("pv", n_units=10, n_ffs=6, seed=7)
         wd = wd_matrices(g)
         assert prune_redundant(wd, 1e9, []) == []
+
+
+class TestArrayPaths:
+    """The ndarray-native constraint paths against their list APIs."""
+
+    @pytest.mark.parametrize("seed", [0, 2, 4])
+    def test_prune_redundant_arrays_matches_list_api(self, seed):
+        import numpy as np
+
+        from repro.retime import clock_period, prune_redundant
+        from repro.retime.constraints import prune_redundant_arrays
+
+        g = random_circuit("pv", n_units=30, n_ffs=16, seed=seed)
+        wd = wd_matrices(g)
+        period = 0.6 * clock_period(g, wd) + 0.4 * wd.max_vertex_delay()
+        rows, cols = wd.pairs_exceeding_arrays(period)
+        kept_r, kept_c = prune_redundant_arrays(wd, period, rows, cols)
+        assert list(zip(kept_r.tolist(), kept_c.tolist())) == prune_redundant(
+            wd, period, wd.pairs_exceeding(period)
+        )
+
+    @pytest.mark.parametrize("seed", [1, 3])
+    def test_clock_constraints_from_pairs_matches(self, seed):
+        from repro.retime import clock_period
+        from repro.retime.constraints import (
+            clock_constraints,
+            clock_constraints_from_pairs,
+        )
+
+        g = random_circuit("pv", n_units=30, n_ffs=16, seed=seed)
+        wd = wd_matrices(g)
+        period = 0.6 * clock_period(g, wd) + 0.4 * wd.max_vertex_delay()
+        rows, cols = wd.pairs_exceeding_arrays(period)
+        assert clock_constraints_from_pairs(wd, rows, cols) == clock_constraints(
+            g, wd, period
+        )

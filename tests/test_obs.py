@@ -330,7 +330,7 @@ class TestPlannerTrace:
         }
         assert {
             "partition", "floorplan", "tiles", "route", "repeater",
-            "expand", "wd", "clock_period", "min_period", "retime",
+            "expand", "compile", "min_period", "retime",
         } <= stage_names
 
     def test_root_plan_span(self, doc):

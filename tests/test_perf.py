@@ -69,8 +69,7 @@ class TestPerfRecorder:
         assert any(n.endswith("tiles") for n in names)
         assert any(n.endswith("route") for n in names)
         # the T_min pipeline is recorded stage by stage
-        assert any(n.endswith("wd") for n in names)
-        assert any(n.endswith("clock_period") for n in names)
+        assert any(n.endswith("compile") for n in names)
         assert any(n.endswith("min_period") for n in names)
         assert "retime/constraints" in names
         assert "retime/lac" in names
@@ -95,8 +94,8 @@ class TestPerfRecorder:
         calls = {t.name: t.calls for t in perf.stages}
         assert calls["partition"] == 1
         assert calls["floorplan"] == 1
-        for stage in ("tiles", "route", "repeater", "expand", "wd",
-                      "clock_period", "min_period", "retime"):
+        for stage in ("tiles", "route", "repeater", "expand", "compile",
+                      "min_period", "retime"):
             assert calls[f"iteration 1 · {stage}"] == 1
         assert calls["retime/constraints"] == 1
         assert calls["retime/min_area"] == 1
