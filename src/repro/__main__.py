@@ -22,9 +22,19 @@ Commands:
   clear`` empties the store, ``cache prewarm`` populates it by
   planning the Table-1 suite once;
 * ``circuits``         — list the benchmark suite;
-* ``trace``            — work with ``repro-trace/1`` files written by
-  ``plan --trace``: ``trace summarize`` renders the span tree, stage
-  table and convergence tables, ``trace validate`` checks the schema.
+* ``trace``            — work with observability JSONL artifacts:
+  ``trace summarize`` renders the span tree, stage table (with peak
+  RSS / CPU columns when the run was monitored) and convergence
+  tables, ``trace validate`` checks any of the three schemas
+  (``repro-trace/1``, ``repro-metrics/1``, ``repro-events/1`` —
+  auto-detected from the header), ``trace flamegraph`` writes folded
+  stacks for flamegraph.pl / speedscope.
+
+``bench history`` reads the whole ``BENCH_<n>.json`` series and prints
+the wall-clock / peak-RSS trajectory, flagging regressions between
+comparable runs; ``plan --metrics/--progress`` and ``table1
+--trace-dir/--progress`` emit the metrics and live-event artifacts
+(see :mod:`repro.obs`).
 
 ``-v`` / ``-vv`` (before the command) turn on INFO / DEBUG logging on
 stderr; the library itself never configures logging handlers.
@@ -97,6 +107,10 @@ def _cmd_plan(args) -> int:
         overrides["compile_cache"] = "off"
     elif args.cache_dir:
         overrides["compile_cache_dir"] = args.cache_dir
+    if args.metrics:
+        overrides["metrics_path"] = args.metrics
+    if args.progress:
+        overrides["progress_path"] = args.progress
 
     checkpoint = (
         CheckpointManager(args.checkpoint_dir, resume=args.resume)
@@ -137,6 +151,11 @@ def _cmd_plan(args) -> int:
         return EXIT_ERROR
     if args.trace:
         print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        print(
+            f"metrics written to {args.metrics} (+ Prometheus sibling)",
+            file=sys.stderr,
+        )
     print(outcome.report())
     if args.outcome_json:
         from repro.verify import save_outcome_json
@@ -184,15 +203,27 @@ def _cmd_table1(args) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.no_cache:
         argv.append("--no-cache")
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    if args.progress:
+        argv += ["--progress", args.progress]
     return table1_main(argv)
 
 
 def _cmd_bench(args) -> int:
     from repro.perf.bench import main as bench_main
 
+    if args.names and args.names[0] == "history":
+        argv = ["history", "--dir", args.out]
+        if args.threshold is not None:
+            argv += ["--threshold", str(args.threshold)]
+        if args.fail_on_regression:
+            argv.append("--fail-on-regression")
+        return bench_main(argv)
     if args.compare:
+        threshold = args.threshold if args.threshold is not None else 0.10
         return bench_main(
-            ["--compare", *args.compare, "--threshold", str(args.threshold)]
+            ["--compare", *args.compare, "--threshold", str(threshold)]
         )
     argv = list(args.names)
     if args.quick:
@@ -262,19 +293,54 @@ def _verify_s27() -> int:
     return 0 if cert.ok else 1
 
 
+def _peek_schema(path: str) -> str:
+    """First line's ``schema`` field, or '' when unreadable."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return str(json.loads(fh.readline()).get("schema", ""))
+    except (OSError, ValueError):
+        return ""
+
+
 def _cmd_trace(args) -> int:
-    from repro.obs import TraceError, read_trace, validate_trace
+    from repro.errors import ReproError
+    from repro.obs import read_trace
 
     try:
         if args.trace_command == "validate":
-            count = validate_trace(args.file)
-            print(f"{args.file}: valid repro-trace/1, {count} spans")
+            # Dispatch on the header's schema so one command validates
+            # any observability artifact (trace, metrics, events).
+            schema = _peek_schema(args.file)
+            if schema == "repro-metrics/1":
+                from repro.obs import validate_metrics
+
+                count = validate_metrics(args.file)
+                print(f"{args.file}: valid {schema}, {count} samples")
+            elif schema == "repro-events/1":
+                from repro.obs import validate_events
+
+                count = validate_events(args.file)
+                print(f"{args.file}: valid {schema}, {count} events")
+            else:
+                from repro.obs import validate_trace
+
+                count = validate_trace(args.file)
+                print(f"{args.file}: valid repro-trace/1, {count} spans")
+            return EXIT_OK
+        if args.trace_command == "flamegraph":
+            from repro.obs import write_flamegraph
+
+            out = args.out if args.out else args.file + ".folded"
+            count = write_flamegraph(args.file, out)
+            print(f"{out}: {count} folded stacks")
             return EXIT_OK
         from repro.obs.summarize import summarize
 
         print(summarize(read_trace(args.file)))
         return EXIT_OK
-    except TraceError as exc:
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
 
@@ -393,6 +459,20 @@ def main(argv=None) -> int:
         help="write a repro-trace/1 JSONL of the run (see `trace summarize`)",
     )
     p_plan.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write counters/gauges/histograms as repro-metrics/1 JSONL "
+        "(plus a Prometheus text sibling FILE with .prom suffix)",
+    )
+    p_plan.add_argument(
+        "--progress",
+        default=None,
+        metavar="PATH",
+        help="stream live span events (repro-events/1 JSONL) to PATH as "
+        "the run executes, or '-' for a human view on stderr",
+    )
+    p_plan.add_argument(
         "--quick",
         action="store_true",
         help="one planning iteration, short anneal (smoke/CI runs)",
@@ -500,12 +580,31 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the compiled-circuit cache",
     )
+    p_table.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-circuit trace + metrics JSONL under DIR and merge "
+        "a batch_summary.json after the batch",
+    )
+    p_table.add_argument(
+        "--progress",
+        default=None,
+        metavar="PATH",
+        help="stream live span events for the whole batch to PATH, or '-' "
+        "for a human stderr view (serial runs only)",
+    )
     p_table.set_defaults(func=_cmd_table1)
 
     p_bench = sub.add_parser(
         "bench", help="time the planning flow per stage, write BENCH_<n>.json"
     )
-    p_bench.add_argument("names", nargs="*", help="subset of circuit names")
+    p_bench.add_argument(
+        "names",
+        nargs="*",
+        help="subset of circuit names, or the single word 'history' to "
+        "print the BENCH_<n>.json series trajectory",
+    )
     p_bench.add_argument(
         "--quick", action="store_true", help="smoke subset, one iteration"
     )
@@ -532,9 +631,16 @@ def main(argv=None) -> int:
         "exits nonzero on timing or result regressions",
     )
     p_bench.add_argument(
-        "--threshold", type=float, default=0.10, metavar="FRAC",
+        "--threshold", type=float, default=None, metavar="FRAC",
         help="with --compare: allowed total wall-clock regression "
-        "(default 0.10)",
+        "(default 0.10); with history: flagged growth fraction "
+        "(default 0.25)",
+    )
+    p_bench.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="with history: exit 1 when a regression between comparable "
+        "adjacent runs is flagged",
     )
     p_bench.add_argument(
         "--cache-dir",
@@ -612,16 +718,34 @@ def main(argv=None) -> int:
     p_list.set_defaults(func=_cmd_circuits)
 
     p_trace = sub.add_parser(
-        "trace", help="inspect repro-trace/1 files written by `plan --trace`"
+        "trace",
+        help="inspect observability JSONL (trace / metrics / events files)",
     )
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     for name, doc in (
         ("summarize", "render span tree, stage table and convergence tables"),
-        ("validate", "check the file against the repro-trace/1 schema"),
+        (
+            "validate",
+            "check a trace, metrics, or events file against its schema "
+            "(auto-detected from the header line)",
+        ),
     ):
         p = trace_sub.add_parser(name, help=doc)
-        p.add_argument("file", help="trace file (JSONL)")
+        p.add_argument("file", help="JSONL artifact file")
         p.set_defaults(func=_cmd_trace)
+    p_flame = trace_sub.add_parser(
+        "flamegraph",
+        help="write folded stacks (name;child <self-us> per line) for "
+        "flamegraph.pl / speedscope",
+    )
+    p_flame.add_argument("file", help="trace file (JSONL)")
+    p_flame.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output path (default: <trace>.folded)",
+    )
+    p_flame.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     if args.verbose:

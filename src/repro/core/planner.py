@@ -42,6 +42,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.compile import CACHE_MODES, CompileCache
@@ -52,6 +53,9 @@ from repro.floorplan.plan import Floorplan, build_floorplan, expand_floorplan
 from repro.netlist.graph import CircuitGraph
 from repro.obs import NOOP_TRACER, Tracer
 from repro.obs.export import write_trace
+from repro.obs.metrics import MetricsRegistry, write_metrics, write_prometheus
+from repro.obs.monitor import ResourceSampler
+from repro.obs.progress import open_progress
 from repro.partition.multiway import Partition, default_block_count, partition_graph
 from repro.repeater.insertion import buffer_routed_nets
 from repro.resilience.checkpoint import (
@@ -106,6 +110,10 @@ class PlannerConfig:
     lac_solver_engine: str = "auto"  # "auto" | "highs" | "ssp"
     min_period_prober: str = "auto"  # "auto" | "feas" | "bellman-ford"
     trace_path: Optional[str] = None  # write a repro-trace/1 JSONL here
+    metrics_path: Optional[str] = None  # repro-metrics/1 JSONL (+ .prom sibling)
+    progress_path: Optional[str] = None  # repro-events/1 live stream ("-" = TTY)
+    monitor: bool = True  # sample RSS/CPU/GC while instrumented
+    monitor_interval: float = 0.05  # seconds between resource samples
     compile_cache_dir: Optional[str] = None  # compiled-circuit disk cache root
     compile_cache: str = "auto"  # "auto" | "off" | "readonly"
 
@@ -174,6 +182,11 @@ def validate_planner_config(config: PlannerConfig) -> None:
         raise PlanningError(
             "PlannerConfig.compile_cache must be one of "
             f"{', '.join(CACHE_MODES)}, got {config.compile_cache!r}"
+        )
+    if config.monitor_interval <= 0:
+        raise PlanningError(
+            "PlannerConfig.monitor_interval must be > 0, got "
+            f"{config.monitor_interval}"
         )
 
 
@@ -480,6 +493,10 @@ def _run_iteration_stages(
             fingerprint=artifact.fingerprint[:16],
             n_candidates=len(artifact.candidates),
         )
+        tracer.metrics.counter(
+            "compile_cache_total", result="hit" if hit else "miss"
+        ).inc()
+        tracer.metrics.gauge("compile_candidates").set(len(artifact.candidates))
         return artifact
 
     compiled = runner.run("compile", _compile)
@@ -663,6 +680,8 @@ def plan_interconnect(
     checkpoint=None,
     verify: bool = False,
     compile_cache: Optional[CompileCache] = None,
+    metrics=None,
+    progress=None,
     **overrides,
 ) -> PlanningOutcome:
     """Run the full interconnect-planning flow on a circuit.
@@ -707,8 +726,19 @@ def plan_interconnect(
     When ``config.trace_path`` is set the spans are also written there
     as ``repro-trace/1`` JSONL (on failure too, for post-mortems).
     ``perf``, if given, is a :class:`repro.perf.PerfRecorder` whose
-    stage table is derived from those same spans; without any of the
-    three, the flow runs on the no-op tracer and pays ~nothing.
+    stage table is derived from those same spans. ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`, or one created when
+    ``config.metrics_path`` is set) is installed as ``tracer.metrics``
+    so every stage and solver meters into it; the registry is written
+    as ``repro-metrics/1`` JSONL to ``config.metrics_path`` plus a
+    Prometheus-text ``.prom`` sibling. ``progress`` (a
+    :class:`repro.obs.ProgressStream` / ``HumanProgress``, or one
+    opened from ``config.progress_path``) streams span open/close live
+    as ``repro-events/1``. Whenever any instrumentation is on and
+    ``config.monitor`` is true, a background
+    :class:`repro.obs.ResourceSampler` attributes peak-RSS / CPU / GC
+    deltas to stage spans. With none of these requested, the flow runs
+    on the no-op tracer and pays ~nothing.
     """
     if config is None:
         config = PlannerConfig()
@@ -723,13 +753,53 @@ def plan_interconnect(
     graph.validate()
 
     trace_path = config.trace_path
+    instrumented = bool(
+        trace_path
+        or config.metrics_path
+        or config.progress_path
+        or perf is not None
+        or metrics is not None
+        or progress is not None
+    )
     if tracer is None:
-        # perf derives its stage table from spans, so it needs a real
-        # tracer even when no trace file was requested.
-        if trace_path or perf is not None:
-            tracer = Tracer(meta={"circuit": graph.name, "seed": config.seed})
+        # perf/metrics/progress all derive from spans, so any of them
+        # needs a real tracer even when no trace file was requested.
+        if instrumented:
+            # wall_start anchors the monotonic span clock to the epoch
+            # so traces can be correlated across runs and with logs.
+            tracer = Tracer(
+                meta={
+                    "circuit": graph.name,
+                    "seed": config.seed,
+                    "wall_start": round(time.time(), 6),
+                }
+            )
         else:
             tracer = NOOP_TRACER
+
+    if metrics is None and config.metrics_path:
+        metrics = MetricsRegistry(
+            meta={"circuit": graph.name, "seed": config.seed}
+        )
+    if metrics is not None and tracer.enabled:
+        tracer.metrics = metrics
+
+    # The monitor listener attaches before the progress listener so
+    # progress events for closing spans already carry resource stamps.
+    sampler = None
+    if tracer.enabled and config.monitor:
+        sampler = ResourceSampler(
+            interval=config.monitor_interval, metrics=metrics
+        )
+        tracer.add_listener(sampler)
+        sampler.start()
+
+    own_progress = False
+    if progress is None and config.progress_path:
+        progress = open_progress(config.progress_path, metrics=metrics)
+        own_progress = True
+    if progress is not None and tracer.enabled:
+        progress.attach(tracer)
 
     if checkpoint is not None:
         checkpoint.bind(
@@ -809,9 +879,25 @@ def plan_interconnect(
                 )
     finally:
         # Written on failure too: a trace of a crashed run is exactly
-        # what the post-mortem needs.
+        # what the post-mortem needs. Monitor stops first so its final
+        # sample lands, and a progress stream this call opened gets its
+        # terminal run_end line; a caller-owned stream (table1 sharing
+        # one across circuits) is only detached.
+        if sampler is not None:
+            sampler.stop()
+            tracer.remove_listener(sampler)
+        if progress is not None:
+            if own_progress:
+                progress.close(spans=len(tracer.spans))
+            else:
+                progress.detach()
         if trace_path:
             write_trace(tracer, trace_path)
+        if metrics is not None and config.metrics_path:
+            write_metrics(metrics, config.metrics_path)
+            write_prometheus(
+                metrics, Path(config.metrics_path).with_suffix(".prom")
+            )
     log.info(
         "planning %s done: converged=%s, %d iteration(s)",
         graph.name,

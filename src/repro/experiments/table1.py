@@ -20,9 +20,13 @@ iterations for all but the hardest circuit.
 from __future__ import annotations
 
 import dataclasses
+import json
+from pathlib import Path
 from typing import Callable, List, Mapping, Optional, Sequence
 
 import time
+
+from repro.ioutil import atomic_write
 
 from repro.core.planner import PlanningOutcome, plan_interconnect
 from repro.errors import InterruptedRunError, ReproError, VerificationError
@@ -96,6 +100,7 @@ def run_circuit(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     verify: bool = False,
+    progress=None,
     **plan_overrides,
 ) -> Table1Row:
     """Run the planning flow for one benchmark circuit.
@@ -110,6 +115,11 @@ def run_circuit(
     (:mod:`repro.verify`); a failing certificate raises
     :class:`~repro.errors.VerificationError`, which batch isolation
     records like any other per-circuit failure.
+
+    ``progress`` is a live-event sink (see :mod:`repro.obs.progress`)
+    shared by the caller across circuits; the planner attaches it to
+    this circuit's tracer and detaches it afterwards, leaving closing
+    the stream to the owner.
     """
     checkpoint = (
         CheckpointManager(checkpoint_dir, resume=resume)
@@ -125,6 +135,7 @@ def run_circuit(
         faults=faults,
         checkpoint=checkpoint,
         verify=verify,
+        progress=progress,
         **plan_overrides,
     )
     if verify:
@@ -213,6 +224,73 @@ def _run_circuit_item(payload) -> BatchItem:
     )
 
 
+def _circuit_overrides(
+    overrides: Mapping[str, object],
+    trace_dir: Optional[str],
+    name: str,
+) -> dict:
+    """Per-circuit plan overrides: base + trace/metrics paths.
+
+    With ``trace_dir`` set every circuit writes its own
+    ``<name>.trace.jsonl`` and ``<name>.metrics.jsonl`` — plain path
+    strings, so the overrides pickle unchanged into ``jobs > 1``
+    worker processes.
+    """
+    merged = dict(overrides)
+    if trace_dir is not None:
+        base = Path(trace_dir)
+        merged["trace_path"] = str(base / f"{name}.trace.jsonl")
+        merged["metrics_path"] = str(base / f"{name}.metrics.jsonl")
+    return merged
+
+
+def write_batch_summary(batch: BatchResult, trace_dir: str) -> Path:
+    """Merge per-circuit artifacts into ``<trace_dir>/batch_summary.json``.
+
+    One entry per batch item: outcome, wall seconds, the artifact
+    filenames, and — read back from each circuit's trace — the root
+    span's wall time plus its monitor-stamped ``peak_rss_bytes``.
+    Missing or unreadable traces (a circuit that failed before its
+    tracer flushed) degrade to ``null`` fields, never an exception:
+    the summary describes whatever the batch left behind.
+    """
+    from repro.obs.export import read_trace
+
+    base = Path(trace_dir)
+    entries = []
+    for item in batch.items:
+        entry: dict = {
+            "name": item.name,
+            "ok": item.ok,
+            "seconds": round(item.seconds, 6),
+            "error": item.error,
+            "trace": f"{item.name}.trace.jsonl",
+            "metrics": f"{item.name}.metrics.jsonl",
+            "wall_seconds": None,
+            "peak_rss_bytes": None,
+        }
+        try:
+            doc = read_trace(base / entry["trace"])
+            roots = [s for s in doc.spans if s.parent_id is None]
+            if roots:
+                root = roots[0]
+                entry["wall_seconds"] = round(root.elapsed, 6)
+                entry["peak_rss_bytes"] = root.attrs.get("peak_rss_bytes")
+        except (ReproError, OSError):
+            pass
+        entries.append(entry)
+    summary = {
+        "schema": "repro-batch-summary/1",
+        "interrupted": batch.interrupted,
+        "n_ok": sum(1 for e in entries if e["ok"]),
+        "n_failed": sum(1 for e in entries if not e["ok"]),
+        "circuits": entries,
+    }
+    out = base / "batch_summary.json"
+    atomic_write(out, json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def run_table1_resilient(
     circuits: Optional[Sequence[CircuitSpec]] = None,
     max_iterations: int = 2,
@@ -225,6 +303,8 @@ def run_table1_resilient(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     verify: bool = False,
+    trace_dir: Optional[str] = None,
+    progress=None,
 ) -> BatchResult:
     """Fault-isolated Table-1 run: one bad circuit cannot kill the batch.
 
@@ -246,9 +326,22 @@ def run_table1_resilient(
     skips already-completed circuits via their committed outcomes. An
     interrupt (:class:`~repro.errors.InterruptedRunError`) stops the
     batch and returns the partial result with ``interrupted`` set.
+
+    ``trace_dir`` instruments every circuit: each writes its own
+    ``<name>.trace.jsonl`` + ``<name>.metrics.jsonl`` under the
+    directory (works with ``jobs > 1`` — workers never share files),
+    and after a non-interrupted batch the parent merges them into
+    ``batch_summary.json``. ``progress`` is a caller-owned live event
+    sink shared serially across circuits; the caller closes it after
+    the batch (incompatible with ``jobs > 1`` — listeners cannot cross
+    process boundaries).
     """
     specs = list(circuits if circuits is not None else TABLE1_CIRCUITS)
     overrides = dict(plan_overrides or {})
+    if progress is not None and jobs > 1:
+        raise ValueError("progress streaming requires a serial run (jobs=1)")
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
 
     def _progress(item):
         if not verbose:
@@ -269,7 +362,7 @@ def run_table1_resilient(
                 spec,
                 max_iterations,
                 faults_for(spec.name) if faults_for is not None else None,
-                overrides,
+                _circuit_overrides(overrides, trace_dir, spec.name),
                 checkpoint_dir,
                 resume,
                 verify,
@@ -296,6 +389,8 @@ def run_table1_resilient(
             pool.shutdown(wait=False, cancel_futures=True)
             return batch
         pool.shutdown(wait=True)
+        if trace_dir is not None:
+            write_batch_summary(batch, trace_dir)
         return batch
 
     def _thunk(spec: CircuitSpec):
@@ -307,12 +402,16 @@ def run_table1_resilient(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             verify=verify,
-            **overrides,
+            progress=progress,
+            **_circuit_overrides(overrides, trace_dir, spec.name),
         )
 
-    return run_batch(
+    batch = run_batch(
         [(spec.name, _thunk(spec)) for spec in specs], on_item=_progress
     )
+    if trace_dir is not None and not batch.interrupted:
+        write_batch_summary(batch, trace_dir)
+    return batch
 
 
 def average_decrease(rows: Sequence[Table1Row]) -> Optional[float]:
@@ -482,12 +581,34 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the compiled-circuit cache entirely",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-circuit trace + metrics JSONL under DIR and merge "
+        "a batch_summary.json after the batch (works with --jobs)",
+    )
+    parser.add_argument(
+        "--progress",
+        default=None,
+        metavar="PATH",
+        help="stream live span events across the batch to PATH "
+        "(repro-events/1 JSONL), or '-' for a human stderr view; "
+        "serial only",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.progress and args.jobs > 1:
+        print(
+            "error: --progress requires a serial run (--jobs 1); span "
+            "listeners cannot cross worker process boundaries",
+            file=sys.stderr,
+        )
         return 2
 
     try:
@@ -505,17 +626,30 @@ def main(argv=None) -> int:
     elif args.cache_dir:
         overrides["compile_cache_dir"] = args.cache_dir
     install_interrupt_handlers()
-    batch = run_table1_resilient(
-        specs,
-        max_iterations=1 if args.quick else 2,
-        verbose=True,
-        faults_for=_parse_fault_args(args.inject_fault),
-        plan_overrides=overrides,
-        jobs=args.jobs,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        verify=args.verify,
-    )
+    progress = None
+    if args.progress:
+        from repro.obs.progress import open_progress
+
+        progress = open_progress(
+            args.progress, meta={"batch": [spec.name for spec in specs]}
+        )
+    try:
+        batch = run_table1_resilient(
+            specs,
+            max_iterations=1 if args.quick else 2,
+            verbose=True,
+            faults_for=_parse_fault_args(args.inject_fault),
+            plan_overrides=overrides,
+            jobs=args.jobs,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            verify=args.verify,
+            trace_dir=args.trace_dir,
+            progress=progress,
+        )
+    finally:
+        if progress is not None:
+            progress.close()
     print()
     print(format_batch(batch))
     if batch.interrupted:

@@ -239,6 +239,8 @@ class SequencePairAnnealer:
             best_cost=best[0],
             t_final=temp,
         )
+        tracer.metrics.counter("anneal_moves_total").inc(iterations)
+        tracer.metrics.counter("anneal_accepts_total").inc(accepted)
         self.best_cost = best[0]
         _best_cost, placements, w, h = best
         log.debug(
@@ -392,6 +394,8 @@ class SequencePairAnnealer:
             best_cost=best[0],
             t_final=temp,
         )
+        tracer.metrics.counter("anneal_moves_total").inc(iterations)
+        tracer.metrics.counter("anneal_accepts_total").inc(accepted)
         self.best_cost = best[0]
         _best_cost, placements, w, h = best
         log.debug(

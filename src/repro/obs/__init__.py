@@ -9,6 +9,15 @@ JSONL exporter/reader for the ``repro-trace/1`` schema; and a renderer
 span tree with self/total times plus the per-round convergence tables
 (LAC reweighting, FEAS probes, floorplan annealing, FM passes).
 
+Alongside the tracer live three sibling layers: a metrics registry of
+counters/gauges/histograms (:mod:`repro.obs.metrics`, exported as
+``repro-metrics/1`` JSONL and Prometheus text), a background resource
+monitor that attributes peak RSS / CPU to spans
+(:mod:`repro.obs.monitor`), and live progress streaming
+(:mod:`repro.obs.progress`, the ``repro-events/1`` feed behind
+``--progress``) plus a folded-stacks flamegraph export
+(:mod:`repro.obs.flamegraph`).
+
 Typical use::
 
     from repro.obs import Tracer
@@ -33,6 +42,30 @@ from repro.obs.export import (
     validate_trace,
     write_trace,
 )
+from repro.obs.flamegraph import folded_stacks, write_flamegraph
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    NOOP_METRICS,
+    MetricsDocument,
+    MetricsError,
+    MetricsRegistry,
+    NoopMetrics,
+    metrics_lines,
+    prometheus_lines,
+    read_metrics,
+    validate_metrics,
+    write_metrics,
+    write_prometheus,
+)
+from repro.obs.monitor import ResourceSample, ResourceSampler
+from repro.obs.progress import (
+    EVENTS_SCHEMA,
+    HumanProgress,
+    ProgressStream,
+    open_progress,
+    read_events,
+    validate_events,
+)
 from repro.obs.tracer import NOOP_TRACER, NoopTracer, Span, Tracer
 
 __all__ = [
@@ -48,4 +81,26 @@ __all__ = [
     "trace_lines",
     "validate_trace",
     "write_trace",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "MetricsDocument",
+    "MetricsError",
+    "NoopMetrics",
+    "NOOP_METRICS",
+    "metrics_lines",
+    "write_metrics",
+    "read_metrics",
+    "validate_metrics",
+    "prometheus_lines",
+    "write_prometheus",
+    "ResourceSampler",
+    "ResourceSample",
+    "EVENTS_SCHEMA",
+    "ProgressStream",
+    "HumanProgress",
+    "open_progress",
+    "read_events",
+    "validate_events",
+    "folded_stacks",
+    "write_flamegraph",
 ]

@@ -1,0 +1,63 @@
+"""Folded-stacks flamegraph export for trace files.
+
+``repro trace flamegraph TRACE.jsonl`` converts a ``repro-trace/1``
+file into the folded-stacks text format that both Brendan Gregg's
+``flamegraph.pl`` and speedscope load directly::
+
+    plan;retime;lac 1250340
+    plan;retime;lac;lac/round 830210
+
+Each line is a semicolon-joined root-to-span path followed by that
+span's **self time in microseconds** — elapsed minus the elapsed of
+its children, clamped at zero (children overlap their parent by
+construction, but rounding can push the sum past the parent). Stacks
+with zero self time are dropped, identical stacks are merged, and the
+output is sorted, so the same trace always folds to the same bytes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.ioutil import atomic_write
+
+from .export import TraceDocument, read_trace
+
+__all__ = ["folded_stacks", "write_flamegraph"]
+
+
+def folded_stacks(doc: TraceDocument) -> List[str]:
+    """Fold a trace into ``stack self_time_usec`` lines."""
+    children: Dict[int, List] = {}
+    for span in doc.spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+
+    merged: Dict[str, int] = {}
+
+    def walk(span, prefix: str) -> None:
+        stack = f"{prefix};{span.name}" if prefix else span.name
+        kids = children.get(span.span_id, ())
+        self_time = span.end - span.start
+        for kid in kids:
+            self_time -= kid.end - kid.start
+        usec = int(round(max(self_time, 0.0) * 1e6))
+        if usec > 0:
+            merged[stack] = merged.get(stack, 0) + usec
+        for kid in kids:
+            walk(kid, stack)
+
+    for root in doc.roots():
+        walk(root, "")
+    return [f"{stack} {usec}" for stack, usec in sorted(merged.items())]
+
+
+def write_flamegraph(
+    trace_path: Union[str, Path], out_path: Union[str, Path]
+) -> int:
+    """Fold ``trace_path`` into ``out_path``; return the line count."""
+    doc = read_trace(trace_path)
+    lines = folded_stacks(doc)
+    atomic_write(Path(out_path), "\n".join(lines) + "\n")
+    return len(lines)

@@ -1,0 +1,594 @@
+"""Resource and work metrics: counters, gauges and histograms.
+
+Where the span tracer (:mod:`repro.obs.tracer`) answers *where did the
+wall clock go*, the :class:`MetricsRegistry` answers *how much work was
+done and what did it cost*: solver iterations, cache hits, FEAS
+probes, annealing moves, rip-up passes, process RSS and CPU. Every
+instrument carries a label set (``counter("feas_probes_total",
+verdict="feasible")``), so one metric name fans out into per-dimension
+series exactly like Prometheus labels do.
+
+The registry hangs off the tracer (``tracer.metrics``) so every call
+site that already receives a tracer can meter itself without a new
+parameter; untraced, unmetered runs see :data:`NOOP_METRICS`, whose
+instruments are one shared inert object — the hot-path cost of leaving
+``tracer.metrics.counter("x").inc()`` in solver code is a dict lookup
+and two no-op calls.
+
+Two export formats, one registry:
+
+* ``repro-metrics/1`` JSONL (:func:`write_metrics` /
+  :func:`read_metrics` / :func:`validate_metrics`), mirroring the
+  trace layer's ``repro-trace/1`` contract — line 1 is the header,
+  then one line per metric sample::
+
+      {"schema": "repro-metrics/1", "meta": {...}, "samples": 3}
+      {"type": "metric", "kind": "counter", "name": "lac_rounds_total",
+       "labels": {}, "value": 7}
+      {"type": "metric", "kind": "gauge", "name": "process_rss_bytes",
+       "labels": {}, "value": 104857600}
+      {"type": "metric", "kind": "histogram", "name": "stage_seconds",
+       "labels": {"stage": "retime"}, "count": 2, "sum": 3.1,
+       "buckets": [[0.1, 0], [1.0, 1], ["+Inf", 2]]}
+
+  Histogram buckets are cumulative counts per upper bound, the last
+  bound serialised as the string ``"+Inf"`` (JSON has no infinity).
+
+* Prometheus text exposition format (:func:`prometheus_lines`), ready
+  for a pushgateway or the future serve mode's ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.ioutil import atomic_write
+
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Default histogram bucket upper bounds (seconds-flavoured; callers
+#: with other units pass their own).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_REQUIRED_SAMPLE_KEYS = ("type", "kind", "name")
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(ReproError):
+    """A metrics file failed to parse or validate."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_items(labels: Dict[str, Any]) -> LabelItems:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+        self.value += n
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, RSS, temperature)."""
+
+    __slots__ = ("name", "labels", "value", "max_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+        self.max_value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Distribution of observations in cumulative buckets."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds  # finite upper bounds; +Inf is implicit
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[Union[float, str], int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs."""
+        out: List[Tuple[Union[float, str], int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append(("+Inf", self.count))
+        return out
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments, keyed by (name, labels).
+
+    The registry preserves first-seen order, so exports are stable
+    across identical runs (deterministic given a deterministic
+    workload). ``meta`` lands in the JSONL header, mirroring the
+    tracer's header meta.
+    """
+
+    enabled = True
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None):
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._metrics: Dict[Tuple[str, str, LabelItems], Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Dict[str, Any], factory):
+        seen = self._kinds.get(name)
+        if seen is not None and seen != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {seen}, not a {kind}"
+            )
+        key = (kind, name, _label_items(labels))
+        instrument = self._metrics.get(key)
+        if instrument is None:
+            _check_name(name)
+            instrument = self._metrics[key] = factory(name, key[2])
+            self._kinds[name] = kind
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get(
+            "histogram",
+            name,
+            labels,
+            lambda n, l: Histogram(n, l, buckets=buckets),
+        )
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach HELP text, emitted in the Prometheus exposition."""
+        self._help[name] = help_text
+
+    # ------------------------------------------------------------------
+    @property
+    def instruments(self) -> List[Instrument]:
+        return list(self._metrics.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``name{labels} -> value`` map for live progress events.
+
+        Histograms contribute their count and sum (the useful live
+        quantities); per-bucket detail stays in the full export.
+        """
+        out: Dict[str, float] = {}
+        for inst in self._metrics.values():
+            label = ",".join(f"{k}={v}" for k, v in inst.labels)
+            key = f"{inst.name}{{{label}}}" if label else inst.name
+            if isinstance(inst, Histogram):
+                out[key + "_count"] = inst.count
+                out[key + "_sum"] = round(inst.sum, 9)
+            else:
+                out[key] = inst.value
+        return out
+
+
+# ----------------------------------------------------------------------
+class _NoopInstrument:
+    """Shared inert instrument; every method is a no-op."""
+
+    __slots__ = ()
+    name = ""
+    labels: LabelItems = ()
+    value = 0
+    max_value = 0
+    sum = 0.0
+    count = 0
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def dec(self, n: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetrics:
+    """The default registry: records nothing, allocates nothing.
+
+    Every accessor returns one shared inert instrument, so metered
+    code paths run at full speed when metrics are off — the exact
+    mirror of :class:`~repro.obs.tracer.NoopTracer`.
+    """
+
+    enabled = False
+    meta: Dict[str, Any] = {}
+    instruments: List[Instrument] = []
+
+    def counter(self, name: str, **labels: Any) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = (), **labels: Any
+    ) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def describe(self, name: str, help_text: str) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, float]:
+        return {}
+
+
+#: Process-wide no-op registry; the default everywhere metrics are
+#: optional (``NoopTracer.metrics`` is this object).
+NOOP_METRICS = NoopMetrics()
+
+
+# ----------------------------------------------------------------------
+# JSONL export / import (repro-metrics/1)
+
+def _round(value: float) -> Union[int, float]:
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return round(value, 9)
+
+
+def _sample_payload(inst: Instrument) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "type": "metric",
+        "kind": inst.kind,
+        "name": inst.name,
+        "labels": dict(inst.labels),
+    }
+    if isinstance(inst, Histogram):
+        payload["count"] = inst.count
+        payload["sum"] = _round(inst.sum)
+        payload["buckets"] = [
+            [le, n] for le, n in inst.cumulative()
+        ]
+    else:
+        payload["value"] = _round(inst.value)
+        if isinstance(inst, Gauge):
+            payload["max"] = _round(inst.max_value)
+    return payload
+
+
+def metrics_lines(registry: MetricsRegistry) -> Iterator[str]:
+    """Serialise a registry as ``repro-metrics/1`` JSONL lines."""
+    instruments = registry.instruments
+    header = {
+        "schema": METRICS_SCHEMA,
+        "meta": registry.meta,
+        "samples": len(instruments),
+    }
+    yield json.dumps(header, sort_keys=True)
+    for inst in instruments:
+        yield json.dumps(_sample_payload(inst), sort_keys=True)
+
+
+def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the registry to ``path`` atomically; returns the path."""
+    return atomic_write(path, "\n".join(metrics_lines(registry)) + "\n")
+
+
+@dataclasses.dataclass
+class MetricSample:
+    """One metric as read back from a ``repro-metrics/1`` file."""
+
+    kind: str
+    name: str
+    labels: Dict[str, str]
+    value: Optional[float] = None
+    count: Optional[int] = None
+    sum: Optional[float] = None
+    buckets: List[Tuple[Union[float, str], int]] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def key(self) -> str:
+        label = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"{self.name}{{{label}}}" if label else self.name
+
+
+@dataclasses.dataclass
+class MetricsDocument:
+    """A fully parsed metrics file: header meta plus all samples."""
+
+    meta: Dict[str, Any]
+    samples: List[MetricSample]
+
+    def get(self, name: str, **labels: Any) -> Optional[MetricSample]:
+        want = {k: str(v) for k, v in labels.items()}
+        for s in self.samples:
+            if s.name == name and s.labels == want:
+                return s
+        return None
+
+    def by_name(self, name: str) -> List[MetricSample]:
+        return [s for s in self.samples if s.name == name]
+
+    def to_registry(self) -> MetricsRegistry:
+        """Rebuild a registry producing the same serialisation.
+
+        The round-trip contract the validator leans on: ``read ->
+        to_registry -> metrics_lines`` is byte-identical to the
+        original file for files this library wrote.
+        """
+        registry = MetricsRegistry(meta=dict(self.meta))
+        for s in self.samples:
+            if s.kind == "counter":
+                registry.counter(s.name, **s.labels).inc(s.value or 0)
+            elif s.kind == "gauge":
+                registry.gauge(s.name, **s.labels).set(s.value or 0)
+            else:
+                bounds = [le for le, _ in s.buckets if not isinstance(le, str)]
+                hist = registry.histogram(s.name, buckets=bounds, **s.labels)
+                prev = 0
+                for i, (_le, cum) in enumerate(s.buckets):
+                    hist.bucket_counts[i] = cum - prev
+                    prev = cum
+                hist.count = s.count or 0
+                hist.sum = s.sum or 0.0
+        return registry
+
+
+def _parse_sample_line(lineno: int, record: Dict[str, Any]) -> MetricSample:
+    for key in _REQUIRED_SAMPLE_KEYS:
+        if key not in record:
+            raise MetricsError(f"line {lineno}: sample missing {key!r}")
+    if record["type"] != "metric":
+        raise MetricsError(
+            f"line {lineno}: unknown record type {record['type']!r}"
+        )
+    kind = record["kind"]
+    name = str(record["name"])
+    labels = record.get("labels", {})
+    if not isinstance(labels, dict):
+        raise MetricsError(f"line {lineno}: labels must be an object")
+    if kind in ("counter", "gauge"):
+        if "value" not in record:
+            raise MetricsError(f"line {lineno}: {kind} {name!r} missing value")
+        return MetricSample(
+            kind=kind, name=name, labels=labels, value=float(record["value"])
+        )
+    if kind != "histogram":
+        raise MetricsError(f"line {lineno}: unknown metric kind {kind!r}")
+    buckets: List[Tuple[Union[float, str], int]] = []
+    prev_cum = 0
+    prev_le = -math.inf
+    for le, cum in record.get("buckets", []):
+        if le != "+Inf":
+            le = float(le)
+            if le <= prev_le:
+                raise MetricsError(
+                    f"line {lineno}: histogram {name!r} bucket bounds "
+                    "not increasing"
+                )
+            prev_le = le
+        cum = int(cum)
+        if cum < prev_cum:
+            raise MetricsError(
+                f"line {lineno}: histogram {name!r} cumulative counts decrease"
+            )
+        prev_cum = cum
+        buckets.append((le, cum))
+    count = int(record.get("count", 0))
+    if buckets and buckets[-1][0] == "+Inf" and buckets[-1][1] != count:
+        raise MetricsError(
+            f"line {lineno}: histogram {name!r} +Inf bucket {buckets[-1][1]} "
+            f"!= count {count}"
+        )
+    return MetricSample(
+        kind=kind,
+        name=name,
+        labels=labels,
+        count=count,
+        sum=float(record.get("sum", 0.0)),
+        buckets=buckets,
+    )
+
+
+def read_metrics(path: Union[str, Path]) -> MetricsDocument:
+    """Parse and validate a ``repro-metrics/1`` file.
+
+    Raises:
+        MetricsError: Unreadable header, wrong schema, malformed
+            sample, non-monotone histogram buckets, or a declared
+            sample count that does not match the file.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise MetricsError(f"cannot read metrics {path}: {exc}") from exc
+    if not lines:
+        raise MetricsError(f"{path}: empty metrics file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise MetricsError(f"{path}: header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("schema") != METRICS_SCHEMA:
+        raise MetricsError(
+            f"{path}: expected schema {METRICS_SCHEMA!r}, "
+            f"got {header.get('schema') if isinstance(header, dict) else header!r}"
+        )
+    samples: List[MetricSample] = []
+    seen: set = set()
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise MetricsError(
+                f"{path}: line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        sample = _parse_sample_line(lineno, record)
+        key = (sample.kind, sample.name, tuple(sorted(sample.labels.items())))
+        if key in seen:
+            raise MetricsError(
+                f"{path}: line {lineno}: duplicate sample {sample.key!r}"
+            )
+        seen.add(key)
+        samples.append(sample)
+    declared = header.get("samples")
+    if declared is not None and declared != len(samples):
+        raise MetricsError(
+            f"{path}: header declares {declared} samples, file has "
+            f"{len(samples)}"
+        )
+    return MetricsDocument(meta=header.get("meta", {}), samples=samples)
+
+
+def validate_metrics(path: Union[str, Path]) -> int:
+    """Validate a metrics file; returns the sample count (raises on error)."""
+    return len(read_metrics(path).samples)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _label_str(labels: LabelItems, extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(labels)
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    rounded = _round(value)
+    return str(rounded)
+
+
+def prometheus_lines(registry: MetricsRegistry) -> List[str]:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+    for inst in registry.instruments:
+        if inst.name not in typed:
+            typed.add(inst.name)
+            help_text = registry._help.get(inst.name)
+            if help_text:
+                lines.append(f"# HELP {inst.name} {help_text}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+        if isinstance(inst, Histogram):
+            for le, cum in inst.cumulative():
+                le_s = le if isinstance(le, str) else _fmt_value(le)
+                lines.append(
+                    f"{inst.name}_bucket"
+                    f"{_label_str(inst.labels, ('le', str(le_s)))} {cum}"
+                )
+            lines.append(
+                f"{inst.name}_sum{_label_str(inst.labels)} "
+                f"{_fmt_value(inst.sum)}"
+            )
+            lines.append(
+                f"{inst.name}_count{_label_str(inst.labels)} {inst.count}"
+            )
+        else:
+            lines.append(
+                f"{inst.name}{_label_str(inst.labels)} "
+                f"{_fmt_value(inst.value)}"
+            )
+    return lines
+
+
+def write_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the Prometheus exposition to ``path``; returns the path."""
+    return atomic_write(path, "\n".join(prometheus_lines(registry)) + "\n")

@@ -87,6 +87,10 @@ def _format_tree(rows: Sequence[RollupRow]) -> List[str]:
     return lines
 
 
+def _fmt_rss(n: Optional[int]) -> str:
+    return f"{n / 1048576.0:.1f}M" if n is not None else "-"
+
+
 def _format_stage_table(doc: TraceDocument) -> List[str]:
     from repro.perf.recorder import PerfRecorder
 
@@ -95,13 +99,24 @@ def _format_stage_table(doc: TraceDocument) -> List[str]:
     stages = perf.stages
     if not stages:
         return ["(no stage spans)"]
+    # Peak-RSS / CPU columns appear only when the resource monitor
+    # stamped the spans; older traces render exactly as before.
+    monitored = any(t.peak_rss_bytes is not None for t in stages)
     width = max(len(t.name) for t in stages)
-    lines = [f"{'stage':<{width}}  {'seconds':>9}  calls"]
+    header = f"{'stage':<{width}}  {'seconds':>9}  calls"
+    if monitored:
+        header += f"  {'peak rss':>9}  {'cpu':>8}"
+    lines = [header]
     for t in stages:
-        lines.append(f"{t.name:<{width}}  {t.seconds:>8.3f}s  {t.calls:>5}")
-    lines.append(
-        f"{'total':<{width}}  {perf.total_seconds:>8.3f}s"
-    )
+        line = f"{t.name:<{width}}  {t.seconds:>8.3f}s  {t.calls:>5}"
+        if monitored:
+            cpu = f"{t.cpu_seconds:.3f}s" if t.cpu_seconds is not None else "-"
+            line += f"  {_fmt_rss(t.peak_rss_bytes):>9}  {cpu:>8}"
+        lines.append(line)
+    total = f"{'total':<{width}}  {perf.total_seconds:>8.3f}s"
+    if monitored:
+        total += f"  {'':>5}  {_fmt_rss(perf.peak_rss_bytes):>9}"
+    lines.append(total)
     return lines
 
 

@@ -27,6 +27,8 @@ import itertools
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from .metrics import NOOP_METRICS
+
 __all__ = ["Span", "Tracer", "NoopTracer", "NOOP_TRACER"]
 
 
@@ -103,6 +105,15 @@ class Tracer:
         clock: Monotonic time source (seconds as float). Injecting a
             deterministic clock makes traces reproducible in tests.
         meta: Free-form metadata written into the trace header.
+
+    A tracer also carries the run's :attr:`metrics` registry (the
+    shared :data:`~repro.obs.metrics.NOOP_METRICS` unless the planner
+    installs a real one), so every call site that already receives a
+    ``tracer=`` can meter via ``tracer.metrics.counter(...)`` without
+    signature changes. Listeners registered with :meth:`add_listener`
+    observe every span open/close — that is how the resource monitor
+    and the progress stream see spans from other threads, where the
+    nesting ContextVar is invisible.
     """
 
     enabled = True
@@ -111,7 +122,9 @@ class Tracer:
         self._clock = clock
         self.meta: Dict[str, Any] = dict(meta or {})
         self.spans: List[Span] = []  # finish order: children before parents
+        self.metrics = NOOP_METRICS
         self._ids = itertools.count(1)
+        self._listeners: List[Any] = []
         self._current: contextvars.ContextVar[Optional[Span]] = (
             contextvars.ContextVar(f"repro-obs-{id(self)}", default=None)
         )
@@ -135,12 +148,36 @@ class Tracer:
         return span if span is not None else _NOOP_SPAN
 
     # ------------------------------------------------------------------
+    def add_listener(self, listener: Any) -> None:
+        """Register an object with ``on_open(span)`` / ``on_close(span)``.
+
+        ``on_open`` fires after the span has its id, parent and start
+        time; ``on_close`` fires after ``end`` is set and attributes are
+        final, but before the span lands in :attr:`spans`. Listeners
+        may mutate ``span.attrs`` (the monitor stamps resource usage);
+        exceptions propagate — observability bugs should be loud in
+        tests, and listeners are only attached on explicitly
+        instrumented runs.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Any) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     def _open(self, span: Span) -> None:
         parent = self._current.get()
         span.span_id = next(self._ids)
         span.parent_id = parent.span_id if parent is not None else None
         span.start = self.now()
         span._token = self._current.set(span)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_open(span)
 
     def _close(self, span: Span) -> None:
         span.end = self.now()
@@ -153,6 +190,9 @@ class Tracer:
                 # context was never set, nothing to restore.
                 self._current.set(None)
             span._token = None
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_close(span)
         self.spans.append(span)
 
 
@@ -202,6 +242,7 @@ class NoopTracer:
     enabled = False
     meta: Dict[str, Any] = {}
     spans: List[Span] = []
+    metrics = NOOP_METRICS
 
     def now(self) -> float:
         return 0.0
@@ -212,6 +253,12 @@ class NoopTracer:
     @property
     def current(self) -> _NoopSpan:
         return _NOOP_SPAN
+
+    def add_listener(self, listener: Any) -> None:
+        pass
+
+    def remove_listener(self, listener: Any) -> None:
+        pass
 
 
 #: Process-wide no-op tracer; the default everywhere a tracer is optional.

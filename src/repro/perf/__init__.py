@@ -18,6 +18,7 @@ from repro.perf.bench import (
     run_bench,
     write_bench,
 )
+from repro.perf.history import history_report, load_history
 
 __all__ = [
     "PerfRecorder",
@@ -28,4 +29,6 @@ __all__ = [
     "write_bench",
     "next_bench_path",
     "main",
+    "load_history",
+    "history_report",
 ]

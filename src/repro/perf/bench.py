@@ -39,6 +39,15 @@ carries ``cache_hits``/``cache_misses`` plus ``compile_seconds`` and
 and the totals sum all four. ``--compare`` accepts ``/2`` documents:
 the new fields are absent there and simply not compared.
 
+Schema ``/4`` additions over ``/3``: resource telemetry from the
+:mod:`repro.obs.monitor` sampler — each ok entry carries
+``peak_rss_bytes`` (the run's RSS high-water mark), its stage rows may
+carry ``peak_rss_bytes``/``cpu_seconds``, and the totals carry the
+max ``peak_rss_bytes`` across circuits. All optional: documents from
+monitorless runs (or older schemas) simply omit them, and ``--compare``
+ignores absent fields. ``repro bench history`` reads a directory of
+BENCH files into a per-stage wall/RSS trend report.
+
 Files are numbered ``BENCH_0.json``, ``BENCH_1.json``, ... — the next
 free integer in the output directory — so successive runs (e.g. a cold
 baseline and an optimised run) sit side by side for comparison.
@@ -69,7 +78,7 @@ from repro.experiments.circuits import (
 from repro.ioutil import atomic_write
 from repro.perf.recorder import PerfRecorder
 
-BENCH_SCHEMA = "repro-bench/3"
+BENCH_SCHEMA = "repro-bench/4"
 
 #: Planner overrides for ``--quick`` (CI smoke): a short floorplan
 #: anneal and a single planning iteration.
@@ -162,6 +171,7 @@ def bench_circuit(
         "cache_misses": cache.stats.misses - misses0,
         "compile_seconds": round(compile_seconds, 6),
         "solve_seconds": round(solve_seconds, 6),
+        "peak_rss_bytes": perf.peak_rss_bytes,
     }
 
 
@@ -218,6 +228,12 @@ def run_bench(
             sum(e.get("compile_seconds", 0.0) for e in ok), 6
         ),
         "solve_seconds": round(sum(e.get("solve_seconds", 0.0) for e in ok), 6),
+        # Max, not sum: circuits run sequentially, so the suite's
+        # high-water mark is the biggest single circuit's.
+        "peak_rss_bytes": max(
+            (e["peak_rss_bytes"] for e in ok if e.get("peak_rss_bytes")),
+            default=None,
+        ),
     }
     return {
         "schema": BENCH_SCHEMA,
@@ -349,6 +365,12 @@ def write_bench(doc: Dict[str, object], out_dir: Path) -> Path:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv and argv[0] == "history":
+        # `repro bench history [...]` — the trend tool over a BENCH
+        # series; everything after the keyword is its own argv.
+        from repro.perf.history import main as history_main
+
+        return history_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro bench", description="Time the planning flow per stage."
     )

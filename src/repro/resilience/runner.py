@@ -280,6 +280,17 @@ class StageRunner:
         status: str,
         fallback: Optional[str] = None,
     ) -> None:
+        # Every stage completion meters here — the one choke point that
+        # sees all attempts, including timeouts, retries and restores.
+        # On uninstrumented runs tracer.metrics is the shared no-op.
+        metrics = self.tracer.metrics
+        for a in attempts:
+            metrics.counter(
+                "stage_attempts_total", stage=stage, status=a.status
+            ).inc()
+            metrics.histogram("stage_seconds", stage=stage).observe(a.seconds)
+        if fallback:
+            metrics.counter("stage_fallbacks_total", stage=stage).inc()
         self.ledger.add(
             StageRecord(
                 stage=stage,

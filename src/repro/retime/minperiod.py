@@ -163,7 +163,11 @@ def _feas_search(
                     warm[perm] = start
                 refined = checker.refine(candidates[idx], warm)
                 raw = None if refined is None else refined[perm]
-            span.set(verdict="infeasible" if raw is None else "feasible")
+            verdict = "infeasible" if raw is None else "feasible"
+            span.set(verdict=verdict)
+            tracer.metrics.counter(
+                "feas_probes_total", kind="certify", verdict=verdict
+            ).inc()
         return raw
 
     # Clamp the window: below the max vertex delay nothing is feasible;
@@ -185,10 +189,11 @@ def _feas_search(
                 verified, raw = engine.probe_budget(
                     candidates[mid], best_raw, budget
                 )
-                span.set(
-                    verdict="feasible" if verified else "unverified",
-                    rounds=engine.last_rounds,
-                )
+                verdict = "feasible" if verified else "unverified"
+                span.set(verdict=verdict, rounds=engine.last_rounds)
+                tracer.metrics.counter(
+                    "feas_probes_total", kind="probe", verdict=verdict
+                ).inc()
             if verified:
                 best_idx, best_raw = mid, raw
                 cur_hi = mid
@@ -218,7 +223,11 @@ def _bellman_ford_search(
     def probe(t: float) -> Optional[Dict[str, int]]:
         with tracer.span("feas/probe", t=t, method="bellman-ford") as span:
             labels = checker.labels(t)
-            span.set(verdict="infeasible" if labels is None else "feasible")
+            verdict = "infeasible" if labels is None else "feasible"
+            span.set(verdict=verdict)
+            tracer.metrics.counter(
+                "feas_probes_total", kind="probe", verdict=verdict
+            ).inc()
         return labels
 
     lo, hi = 0, len(candidates) - 1

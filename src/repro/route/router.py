@@ -318,11 +318,17 @@ class GlobalRouter:
                     result = self._embed_net(routed[name].net)
                     self._commit(result, +1)
                     routed[name] = result
+                tracer.metrics.counter("route_ripup_total").inc(len(victims))
+            summary = self.congestion_summary()
             span.set(
                 wirelength_tiles=sum(
                     r.wirelength_tiles for r in routed.values()
                 ),
-                **self.congestion_summary(),
+                **summary,
+            )
+            tracer.metrics.counter("route_nets_total").inc(len(nets))
+            tracer.metrics.gauge("route_overflowed_cells").set(
+                summary["overflowed_cells"]
             )
         return routed
 
