@@ -21,6 +21,14 @@ Commands:
   via ``--cache-dir``): ``cache info`` lists artifacts, ``cache
   clear`` empties the store, ``cache prewarm`` populates it by
   planning the Table-1 suite once;
+* ``serve``            — run the planning service daemon: a bounded
+  persistent job queue, a supervised worker-process pool (crashed
+  workers requeue and resume bit-identically from checkpoints), and
+  HTTP ``/healthz`` ``/readyz`` ``/jobs`` endpoints over ``--socket``
+  (Unix domain) or ``--port`` (TCP) — see :mod:`repro.serve`;
+* ``submit`` / ``jobs`` — client side of ``serve``: spool a job
+  (``--wait`` blocks and exits with the job's own per-plan code) and
+  list/inspect/cancel jobs or fetch their telemetry streams;
 * ``circuits``         — list the benchmark suite;
 * ``trace``            — work with observability JSONL artifacts:
   ``trace summarize`` renders the span tree, stage table (with peak
@@ -44,9 +52,11 @@ but unsatisfied (not converged / all circuits failed), ``2`` usage or
 flow error, ``3`` target period infeasible (``plan``), ``4``
 interrupted by SIGINT/SIGTERM — durable progress (checkpoints, trace)
 is flushed and the run is resumable with ``--resume`` when a
-``--checkpoint-dir`` was given — and ``5`` verification failed (a
+``--checkpoint-dir`` was given — ``5`` verification failed (a
 ``--verify`` run or a ``verify <target>`` audit hit a failing
-certificate).
+certificate), and ``6`` busy (``submit`` shed by a full or draining
+service; nothing was spooled). See :mod:`repro.cliutil` and the
+"Service" section of ``docs/api.md`` for the full contract.
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ import logging
 import sys
 
 from repro.cliutil import (
+    EXIT_BUSY,
     EXIT_ERROR,
     EXIT_INFEASIBLE,
     EXIT_INTERRUPTED,
@@ -69,28 +80,21 @@ from repro.cliutil import (
 def _cmd_plan(args) -> int:
     from repro.core import plan_interconnect
     from repro.errors import InterruptedRunError, ReproError
-    from repro.experiments import get_circuit
-    from repro.netlist import s27_graph
+    from repro.experiments.circuits import load_circuit
     from repro.resilience import CheckpointManager, default_resilience
 
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return EXIT_ERROR
-    if args.circuit == "s27":
-        graph = s27_graph()
-        seed, whitespace = 1, 0.4
-    else:
-        try:
-            spec = get_circuit(args.circuit)
-        except KeyError:
-            print(
-                f"error: unknown circuit {args.circuit!r} "
-                "(see `python -m repro circuits`)",
-                file=sys.stderr,
-            )
-            return EXIT_ERROR
-        graph = spec.build()
-        seed, whitespace = spec.seed, spec.whitespace
+    try:
+        graph, plan_kwargs = load_circuit(args.circuit)
+    except KeyError:
+        print(
+            f"error: unknown circuit {args.circuit!r} "
+            "(see `python -m repro circuits`)",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
 
     resilience = default_resilience()
     if args.stage_timeout is not None:
@@ -98,7 +102,7 @@ def _cmd_plan(args) -> int:
     if args.no_degrade:
         resilience.degrade_t_clk = False
 
-    overrides = {}
+    overrides = dict(plan_kwargs)
     iterations = args.iterations
     if args.quick:
         overrides["floorplan_iterations"] = 300
@@ -121,8 +125,6 @@ def _cmd_plan(args) -> int:
     try:
         outcome = plan_interconnect(
             graph,
-            seed=seed,
-            whitespace=whitespace,
             max_iterations=iterations,
             resilience=resilience,
             trace_path=args.trace,
@@ -423,6 +425,134 @@ def _cmd_cache(args) -> int:
     return EXIT_OK if failed == 0 else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.server import serve_main
+
+    return serve_main(args)
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+
+    options = {}
+    if args.quick:
+        options["quick"] = True
+    if args.iterations is not None:
+        options["iterations"] = args.iterations
+    if args.verify:
+        options["verify"] = True
+    try:
+        client = ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        )
+        status, doc = client.submit(
+            args.circuit, options=options or None, deadline=args.deadline
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if status in (429, 503):
+        reason = doc.get("error", "busy") if isinstance(doc, dict) else doc
+        print(f"shed: {reason}", file=sys.stderr)
+        return EXIT_BUSY
+    if status != 201:
+        error = doc.get("error", doc) if isinstance(doc, dict) else doc
+        print(f"error: submission rejected ({status}): {error}", file=sys.stderr)
+        return EXIT_ERROR
+    job_id = doc["id"]
+    print(job_id)
+    if not args.wait:
+        return EXIT_OK
+    try:
+        final = client.wait(job_id, timeout=args.timeout)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    return _report_job(final, client=client)
+
+
+def _report_job(doc, client=None) -> int:
+    """Print a terminal job like the one-shot CLI would, map its exit."""
+    import json as _json
+
+    state = doc.get("state")
+    result = doc.get("result")
+    if state == "done" and result is not None:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        code = doc.get("exit_code")
+        return code if isinstance(code, int) else EXIT_OK
+    if state == "canceled":
+        print(f"job {doc.get('id')} canceled", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    print(
+        f"job {doc.get('id')} {state}: {doc.get('error', 'no result')}",
+        file=sys.stderr,
+    )
+    code = doc.get("exit_code")
+    return code if isinstance(code, int) else EXIT_NOT_CONVERGED
+
+
+def _cmd_jobs(args) -> int:
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+
+    try:
+        client = ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        )
+        if args.job_id is None:
+            return _list_jobs(client)
+        if args.cancel:
+            status, doc = client.cancel(args.job_id)
+            if status == 200:
+                print(f"canceled {args.job_id} ({doc.get('canceled')})")
+                return EXIT_OK
+            error = doc.get("error", doc) if isinstance(doc, dict) else doc
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        if args.events:
+            sys.stdout.write(client.events(args.job_id))
+            return EXIT_OK
+        if args.metrics:
+            sys.stdout.write(client.metrics(args.job_id))
+            return EXIT_OK
+        doc = client.job(args.job_id)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if doc is None:
+        print(f"error: no job {args.job_id}", file=sys.stderr)
+        return EXIT_ERROR
+    import json as _json
+
+    print(_json.dumps(doc, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+def _list_jobs(client) -> int:
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return EXIT_OK
+    print(f"{'id':<20} {'circuit':>8} {'state':>9} {'att':>3} {'exit':>4}  note")
+    for doc in jobs:
+        exit_code = doc.get("exit_code")
+        note = doc.get("error") or ""
+        result = doc.get("result")
+        if doc.get("state") == "done" and result:
+            note = (
+                f"t_clk={result.get('t_clk'):.6g} "
+                f"n_foa={result.get('n_foa')} n_f={result.get('n_f')}"
+            )
+        print(
+            f"{doc['id']:<20} {doc.get('circuit', '?'):>8} "
+            f"{doc.get('state', '?'):>9} {doc.get('attempts', 0):>3} "
+            f"{'-' if exit_code is None else exit_code:>4}  {note}"
+        )
+    return EXIT_OK
+
+
 def _cmd_circuits(_args) -> int:
     from repro.experiments import TABLE1_CIRCUITS
 
@@ -713,6 +843,159 @@ def main(argv=None) -> int:
             help="compiled-circuit cache directory",
         )
         p.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the planning service daemon (bounded job queue + "
+        "supervised worker pool + HTTP endpoints)",
+    )
+    p_serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve HTTP over a Unix domain socket at PATH",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve HTTP over TCP on --host:N (0 picks a free port)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_serve.add_argument(
+        "--spool",
+        default="serve-spool",
+        metavar="DIR",
+        help="persistent spool directory (queue, results, per-job "
+        "checkpoints and telemetry); survives daemon restarts",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes running jobs concurrently (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max queued jobs before submissions shed with 429 "
+        "(default 64)",
+    )
+    p_serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="claims per job before a crashing job fails (default 2)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock budget (submissions may "
+        "override); exceeded jobs are killed and retried",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="kill a worker whose heartbeat goes stale this long "
+        "(hung, not slow; default 30)",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM: let running jobs finish this long before "
+        "checkpointing and requeueing them (default 30)",
+    )
+    p_serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="supervision loop period (default 0.05)",
+    )
+    p_serve.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="KIND[:STAGE[:CALL]]",
+        help="arm a deterministic service fault (worker_crash, "
+        "queue_corrupt) — the CI harness for crash recovery",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a planning job to a running service"
+    )
+    p_submit.add_argument("circuit", help="circuit name (s27 or a Table-1 name)")
+    p_submit.add_argument("--socket", default=None, metavar="PATH")
+    p_submit.add_argument("--port", type=int, default=None, metavar="N")
+    p_submit.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_submit.add_argument(
+        "--quick", action="store_true", help="one iteration, short anneal"
+    )
+    p_submit.add_argument(
+        "--iterations", type=int, default=None, metavar="N"
+    )
+    p_submit.add_argument(
+        "--verify",
+        action="store_true",
+        help="certify the finished plan in the worker",
+    )
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job is terminal; exit with the job's own "
+        "per-plan code (0/1/3/5)",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait limit (default 600)",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list or inspect jobs on a running service"
+    )
+    p_jobs.add_argument(
+        "job_id", nargs="?", default=None, help="job id (omit to list all)"
+    )
+    p_jobs.add_argument("--socket", default=None, metavar="PATH")
+    p_jobs.add_argument("--port", type=int, default=None, metavar="N")
+    p_jobs.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_jobs.add_argument(
+        "--events",
+        action="store_true",
+        help="print the job's live repro-events/1 stream",
+    )
+    p_jobs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the job's repro-metrics/1 lines",
+    )
+    p_jobs.add_argument(
+        "--cancel", action="store_true", help="cancel the job"
+    )
+    p_jobs.set_defaults(func=_cmd_jobs)
 
     p_list = sub.add_parser("circuits", help="list the benchmark suite")
     p_list.set_defaults(func=_cmd_circuits)

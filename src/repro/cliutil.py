@@ -13,7 +13,10 @@ contract:
   checkpoint directory was given; rerun with ``--resume`` to continue;
 * ``5`` — verification failed: the flow completed but the independent
   certificate checkers (:mod:`repro.verify`) rejected a result
-  (``plan --verify``, ``table1 --verify``, ``verify <target>``).
+  (``plan --verify``, ``table1 --verify``, ``verify <target>``);
+* ``6`` — busy: the service shed the request (``submit`` against a
+  full queue — HTTP 429 — or a draining daemon — HTTP 503); nothing
+  was spooled, resubmit later.
 
 :func:`install_interrupt_handlers` converts SIGINT/SIGTERM into
 :class:`~repro.errors.InterruptedRunError`, so ``finally`` blocks run
@@ -34,6 +37,7 @@ EXIT_ERROR = 2
 EXIT_INFEASIBLE = 3
 EXIT_INTERRUPTED = 4
 EXIT_VERIFY_FAILED = 5
+EXIT_BUSY = 6
 
 
 def install_interrupt_handlers() -> None:

@@ -21,6 +21,13 @@ schema, fingerprint, checksum and the artifact's own embedded
 fingerprint are all verified, and any mismatch quarantines the file
 and reports a miss so the caller recompiles cleanly.
 
+The store is safe under concurrent writers without any locking:
+staging files are ``O_EXCL``-claimed per writer, the final rename is
+atomic, and a writer that finds its exact payload already on disk
+skips the rewrite entirely (content-addressing makes "last writer
+wins" indistinguishable from "first writer wins"). Service workers and
+``table1 --jobs`` processes share one store this way.
+
 Modes:
 
 * ``"auto"`` — read and write (the default);
@@ -70,6 +77,7 @@ class CacheStats:
     memory_hits: int = 0
     disk_hits: int = 0
     writes: int = 0
+    skipped_writes: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -191,6 +199,15 @@ class CompileCache:
                 "periods": sorted({p for (p, _pr) in artifact.clock_pair_sets}),
             },
         }
+        # Concurrent writers (service workers, table1 --jobs) routinely
+        # race to store the same content-addressed artifact. When the
+        # file already holds this exact payload, skip the rewrite: less
+        # churn, and no window where a reader sees the file mid-replace
+        # on filesystems with weaker rename semantics.
+        if self._holds_payload(path, artifact.fingerprint, header["sha256"]):
+            artifact.dirty = False
+            self.stats.skipped_writes += 1
+            return path
         data = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
         atomic_write(path, data)
         artifact.dirty = False
@@ -202,6 +219,24 @@ class CompileCache:
             len(data),
         )
         return path
+
+    @staticmethod
+    def _holds_payload(path: Path, fingerprint: str, sha256: str) -> bool:
+        """Whether ``path`` already stores exactly this payload.
+
+        Header-only check (cheap); any unreadable/mismatched file just
+        reports ``False`` and the caller rewrites it atomically.
+        """
+        try:
+            with open(path, "rb") as f:
+                header = json.loads(f.readline().decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("fingerprint") == fingerprint
+            and header.get("sha256") == sha256
+        )
 
     def save(self, artifact: CompiledCircuit) -> Optional[Path]:
         """Persist ``artifact`` iff the solve enriched it since the last write."""

@@ -55,6 +55,28 @@ class VerificationError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The planning service hit a protocol or spool-level problem.
+
+    Raised by :mod:`repro.serve` for malformed job records, unusable
+    spool directories, and client/server wire errors.
+    """
+
+
+class QueueFullError(ServeError):
+    """A job submission was shed because the queue is at capacity.
+
+    The server maps it to HTTP 429 and the ``submit`` CLI to the
+    "busy" exit code (6); the spool never grows past its bound.
+    """
+
+    def __init__(self, capacity, message=None):
+        self.capacity = capacity
+        super().__init__(
+            message or f"job queue is full ({capacity} queued jobs); retry later"
+        )
+
+
 class InterruptedRunError(KeyboardInterrupt):
     """A run was interrupted by SIGINT/SIGTERM (or a simulated kill).
 

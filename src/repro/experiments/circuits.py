@@ -74,3 +74,32 @@ def get_circuit(name: str) -> CircuitSpec:
         raise KeyError(
             f"unknown benchmark circuit {name!r}; have {sorted(BY_NAME)}"
         ) from None
+
+
+#: Every name :func:`load_circuit` accepts (the suite plus ``s27``).
+KNOWN_CIRCUITS: List[str] = ["s27"] + [c.name for c in TABLE1_CIRCUITS]
+
+
+def load_circuit(name: str):
+    """Resolve a circuit name into ``(graph, plan_kwargs)``.
+
+    The one place that knows how to turn *any* plannable circuit name —
+    a Table-1 benchmark or the ``s27`` tutorial circuit — into a built
+    graph plus the per-circuit planner keywords (``seed``,
+    ``whitespace``, ``n_blocks``). The ``plan`` CLI and the service
+    worker both go through here, so a job submitted to the daemon runs
+    exactly what the one-shot command would.
+
+    Raises:
+        KeyError: ``name`` is not a known circuit.
+    """
+    if name == "s27":
+        from repro.netlist import s27_graph
+
+        return s27_graph(), {"seed": 1, "whitespace": 0.4}
+    spec = get_circuit(name)
+    return spec.build(), {
+        "seed": spec.seed,
+        "whitespace": spec.whitespace,
+        "n_blocks": spec.n_blocks,
+    }

@@ -7,6 +7,13 @@ the destination with :func:`os.replace`. A crash — or a SIGKILL — at
 any point leaves either the old file or the new file, never a
 truncated hybrid. (``os.replace`` is atomic on POSIX and on Windows;
 the same-directory requirement keeps the rename on one filesystem.)
+
+The temporary file is opened with ``O_EXCL`` under a per-pid,
+per-attempt name, so *concurrent* writers — service workers sharing a
+compile cache, ``table1 --jobs`` processes, threads within one daemon
+— can never interleave bytes into the same staging file. Whichever
+writer renames last wins whole; every intermediate observation of the
+destination is a complete document.
 """
 
 from __future__ import annotations
@@ -46,9 +53,26 @@ def atomic_write(path: Union[str, Path], data: Union[bytes, str]) -> Path:
     if isinstance(data, str):
         data = data.encode("utf-8")
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    # O_EXCL claims the staging file exclusively; the attempt counter
+    # sidesteps leftovers from a previous kill (same pid reused) and
+    # races between threads sharing one pid. The name keeps the
+    # ``.*.tmp.*`` shape that checkpoint-store sweeps clean up.
+    fd = None
+    tmp = None
+    for attempt in range(10_000):
+        candidate = path.parent / f".{path.name}.tmp.{os.getpid()}.{attempt}"
+        try:
+            fd = os.open(
+                str(candidate), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+            )
+            tmp = candidate
+            break
+        except FileExistsError:
+            continue
+    if fd is None:
+        raise OSError(f"cannot allocate a staging file for {path}")
     try:
-        with open(tmp, "wb") as f:
+        with os.fdopen(fd, "wb") as f:
             f.write(data)
             f.flush()
             os.fsync(f.fileno())

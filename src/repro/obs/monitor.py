@@ -28,6 +28,17 @@ standard library**:
 * CPU: ``os.times()`` (user + system of this process);
 * GC: ``gc.get_stats()`` collection counts.
 
+Monitoring must never take a run down with it. When the sample source
+*raises* (no ``/proc`` and a broken ``resource`` module, a sandbox
+denying the reads), the sampler **degrades**: the first failure is
+logged once at DEBUG, :attr:`ResourceSampler.degraded` flips, the
+background thread is never started (``start()`` probes once first),
+and spans close unstamped — the plan completes exactly as it would
+unmonitored, its traces merely lack the resource columns. When the
+source works but no RSS reading is available (the fallback returns
+``0``), CPU and GC are still stamped and only ``peak_rss_bytes`` is
+omitted — readers already treat every monitor attribute as optional.
+
 Everything is injectable for tests: ``clock`` (monotonic seconds) and
 ``sample_fn`` (returns ``(rss_bytes, cpu_seconds, gc_collections)``),
 and :meth:`ResourceSampler.sample_once` drives one deterministic
@@ -38,11 +49,14 @@ from __future__ import annotations
 
 import dataclasses
 import gc
+import logging
 import os
 import sys
 import threading
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "ResourceSample",
@@ -161,12 +175,34 @@ class ResourceSampler:
         self._last: Optional[ResourceSample] = None
         self.peak_rss_bytes = 0
         self.samples_taken = 0
+        #: True once the sample source has raised; the sampler then
+        #: stamps nothing and the background thread stays off.
+        self.degraded = False
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
     # -- sampling ------------------------------------------------------
     def _fresh_sample(self) -> ResourceSample:
-        rss, cpu, gc_n = self._sample_fn()
+        try:
+            rss, cpu, gc_n = self._sample_fn()
+        except Exception as exc:
+            if not self.degraded:
+                self.degraded = True
+                log.debug(
+                    "resource sampling unavailable (%s: %s); "
+                    "monitoring degrades to unstamped spans",
+                    type(exc).__name__,
+                    exc,
+                )
+            last = self._last
+            if last is not None:
+                return ResourceSample(
+                    self._clock(),
+                    last.rss_bytes,
+                    last.cpu_seconds,
+                    last.gc_collections,
+                )
+            return ResourceSample(self._clock(), 0, 0.0, 0)
         return ResourceSample(self._clock(), rss, cpu, gc_n)
 
     def _observe(self, sample: ResourceSample) -> None:
@@ -222,10 +258,16 @@ class ResourceSampler:
             if usage is None:
                 return
             sample = self._cached_sample()
+            if self.degraded:
+                # No real readings exist; an all-zero stamp would read
+                # as "this stage used nothing", which is worse than no
+                # column at all.
+                return
             peak = max(usage.peak_rss, sample.rss_bytes)
             if not self._should_stamp(span):
                 return
-            span.attrs["peak_rss_bytes"] = peak
+            if peak > 0:  # 0 = no RSS source on this platform
+                span.attrs["peak_rss_bytes"] = peak
             span.attrs["cpu_seconds"] = round(
                 max(sample.cpu_seconds - usage.cpu_at_open, 0.0), 6
             )
@@ -241,8 +283,17 @@ class ResourceSampler:
 
     # -- background thread ---------------------------------------------
     def start(self) -> "ResourceSampler":
-        """Start the background sampling thread (idempotent)."""
+        """Start the background sampling thread (idempotent).
+
+        Probes the sample source once first; if that degrades the
+        sampler (source raises), the thread is never started — the run
+        proceeds unmonitored instead of spinning a thread that can
+        only fail.
+        """
         if self._thread is not None:
+            return self
+        self.sample_once()
+        if self.degraded:
             return self
         self._stop.clear()
         self._thread = threading.Thread(
@@ -278,8 +329,11 @@ class ResourceSampler:
     def summary(self) -> Dict[str, Any]:
         """Run-level roll-up for reports and batch summaries."""
         last = self._last
-        return {
+        out = {
             "peak_rss_bytes": self.peak_rss_bytes,
             "cpu_seconds": round(last.cpu_seconds, 6) if last else None,
             "samples": self.samples_taken,
         }
+        if self.degraded:
+            out["degraded"] = True
+        return out

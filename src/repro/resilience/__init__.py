@@ -38,10 +38,14 @@ from repro.resilience.degrade import find_relaxed_period
 from repro.resilience.faults import (
     RESULT_FAULT_KINDS,
     RESULT_FAULT_OWNER,
+    SERVE_FAULT_ENV,
+    SERVE_FAULT_KINDS,
+    WORKER_CRASH_EXIT,
     CheckpointFault,
     FaultInjector,
     FaultSpec,
     ResultFault,
+    ServeFault,
 )
 from repro.resilience.ledger import RunLedger, StageAttempt, StageRecord
 from repro.resilience.policy import (
@@ -64,8 +68,12 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "ResultFault",
+    "ServeFault",
     "RESULT_FAULT_KINDS",
     "RESULT_FAULT_OWNER",
+    "SERVE_FAULT_ENV",
+    "SERVE_FAULT_KINDS",
+    "WORKER_CRASH_EXIT",
     "RunLedger",
     "StageAttempt",
     "StageRecord",

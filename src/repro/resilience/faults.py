@@ -35,6 +35,17 @@ reservation) so the independent certification layer in
 :mod:`repro.verify` can be proven to reject exactly what it should —
 the basis of the differential fuzz harness and the CI verify-smoke
 step (``verify --inject-result-fault``).
+
+The fourth family targets the *service* (:mod:`repro.serve`): a
+:class:`ServeFault` either hard-kills a worker process at a stage
+boundary (``worker_crash`` — ``os._exit``, no cleanup, exactly what a
+SIGKILL or OOM kill looks like to the supervisor) or corrupts a job
+record as it is spooled (``queue_corrupt``), so the requeue +
+checkpoint-resume and quarantine paths are exercised deterministically
+in CI (``repro serve --inject-fault``). ``worker_crash`` crosses the
+process boundary via :data:`SERVE_FAULT_ENV`: the supervisor stamps
+the fault into the chosen worker's environment and the worker arms it
+as a :class:`FaultSpec` with ``exit_code`` set.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -53,6 +65,18 @@ ANY_STAGE = "*"
 
 #: Legal :class:`CheckpointFault` kinds.
 CORRUPTION_KINDS = ("truncate", "bitflip", "stale_fingerprint")
+
+#: Legal :class:`ServeFault` kinds.
+SERVE_FAULT_KINDS = ("worker_crash", "queue_corrupt")
+
+#: Environment variable carrying an armed ``worker_crash`` fault into
+#: a service worker process (value: :meth:`ServeFault.to_env`).
+SERVE_FAULT_ENV = "REPRO_SERVE_FAULT"
+
+#: Exit code a ``worker_crash`` fault dies with — the conventional
+#: 128+SIGKILL value, so the supervisor's crash classification treats
+#: it exactly like a real kill -9.
+WORKER_CRASH_EXIT = 137
 
 #: Legal :class:`ResultFault` kinds.
 RESULT_FAULT_KINDS = (
@@ -108,6 +132,13 @@ class FaultSpec:
     delay: float = 0.0
     on_call: int = 1
     repeat: bool = False
+    #: Hard-kill the process with ``os._exit(exit_code)`` when the
+    #: fault fires — no exception, no ``finally`` blocks, no atexit;
+    #: the faithful simulation of SIGKILL/OOM for crash-recovery tests.
+    #: Committed checkpoints stay durable (they are written atomically
+    #: at stage boundaries), which is exactly the contract a resumed
+    #: attempt relies on.
+    exit_code: Optional[int] = None
 
     def fires(self, call_index: int) -> bool:
         if self.repeat:
@@ -286,6 +317,70 @@ class ResultFault:
         return f"repeater_area: drifted grid.used[{region!r}] by +1.0"
 
 
+@dataclasses.dataclass
+class ServeFault:
+    """One armed service-layer fault (:mod:`repro.serve`).
+
+    Attributes:
+        kind: ``"worker_crash"`` (hard-kill a worker process at a stage
+            boundary, simulating SIGKILL) or ``"queue_corrupt"``
+            (truncate a job record as it is spooled, so the queue's
+            quarantine path must catch it).
+        stage: For ``worker_crash``: stage whose entry kills the
+            worker. The default ``"retime"`` dies mid-LAC — after
+            earlier stage checkpoints are durable, before the retiming
+            one is — the interesting kill point for resume tests.
+        on_call: 1-based call index of ``stage`` at which the worker
+            dies.
+        on_job: 1-based index of the matching spawn/spool event (the
+            supervisor counts worker launches, the queue counts
+            submissions), so "kill only the first job's worker" is
+            expressible.
+        repeat: Fire on every matching event >= ``on_job``.
+    """
+
+    kind: str
+    stage: str = "retime"
+    on_call: int = 1
+    on_job: int = 1
+    repeat: bool = False
+    _seen: int = dataclasses.field(default=0, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in SERVE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown serve fault kind {self.kind!r} "
+                f"(expected one of {', '.join(SERVE_FAULT_KINDS)})"
+            )
+
+    def fires(self, seen: int) -> bool:
+        if self.repeat:
+            return seen >= self.on_job
+        return seen == self.on_job
+
+    # -- the process-boundary wire format ------------------------------
+    def to_env(self) -> str:
+        """Encode for :data:`SERVE_FAULT_ENV` (``kind:stage:on_call``)."""
+        return f"{self.kind}:{self.stage}:{self.on_call}"
+
+    @classmethod
+    def from_env(cls, value: str) -> "ServeFault":
+        """Decode a :data:`SERVE_FAULT_ENV` value (partial forms ok)."""
+        parts = value.split(":")
+        kind = parts[0]
+        stage = parts[1] if len(parts) > 1 and parts[1] else "retime"
+        on_call = int(parts[2]) if len(parts) > 2 and parts[2] else 1
+        return cls(kind, stage=stage, on_call=on_call)
+
+    def as_spec(self) -> FaultSpec:
+        """The in-worker :class:`FaultSpec` for a ``worker_crash``."""
+        if self.kind != "worker_crash":
+            raise ValueError(f"{self.kind!r} has no in-worker spec")
+        return FaultSpec(
+            self.stage, on_call=self.on_call, exit_code=WORKER_CRASH_EXIT
+        )
+
+
 def _corrupt_file(path: Path, kind: str) -> None:
     """Apply one corruption kind to a ``repro-ckpt/1`` file in place."""
     data = path.read_bytes()
@@ -317,17 +412,21 @@ class FaultInjector:
         self,
         specs: Sequence[FaultSpec] = (),
         checkpoint_faults: Sequence[CheckpointFault] = (),
+        serve_faults: Sequence[ServeFault] = (),
     ):
         self.specs: List[FaultSpec] = list(specs)
         self.checkpoint_faults: List[CheckpointFault] = list(checkpoint_faults)
+        self.serve_faults: List[ServeFault] = list(serve_faults)
         self._calls: Dict[str, int] = {}
         self._total_calls = 0
 
     def arm(
-        self, spec: Union[FaultSpec, CheckpointFault]
+        self, spec: Union[FaultSpec, CheckpointFault, ServeFault]
     ) -> "FaultInjector":
         if isinstance(spec, CheckpointFault):
             self.checkpoint_faults.append(spec)
+        elif isinstance(spec, ServeFault):
+            self.serve_faults.append(spec)
         else:
             self.specs.append(spec)
         return self
@@ -351,6 +450,8 @@ class FaultInjector:
             if fires:
                 if spec.delay > 0:
                     time.sleep(spec.delay)
+                if spec.exit_code is not None:
+                    os._exit(spec.exit_code)
                 if spec.error is not None:
                     raise _make_error(spec.error, stage)
 
@@ -362,6 +463,31 @@ class FaultInjector:
             fault._seen += 1
             if fault.fires(fault._seen):
                 _corrupt_file(Path(path), fault.kind)
+
+    def on_spool(self, job_id: str, path) -> None:
+        """Job-spool hook; corrupts the just-written record on a fire."""
+        for fault in self.serve_faults:
+            if fault.kind != "queue_corrupt":
+                continue
+            fault._seen += 1
+            if fault.fires(fault._seen):
+                _corrupt_file(Path(path), "truncate")
+
+    def worker_env(self) -> Optional[str]:
+        """The :data:`SERVE_FAULT_ENV` value for the next worker spawn.
+
+        Counts spawn events against every armed ``worker_crash`` fault;
+        returns the encoded fault when one fires for this spawn, else
+        ``None``. Called by the supervisor once per worker launch.
+        """
+        fired: Optional[str] = None
+        for fault in self.serve_faults:
+            if fault.kind != "worker_crash":
+                continue
+            fault._seen += 1
+            if fault.fires(fault._seen) and fired is None:
+                fired = fault.to_env()
+        return fired
 
     @classmethod
     def fail_once(

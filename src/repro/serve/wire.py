@@ -1,0 +1,171 @@
+"""Wire schemas for the planning service (``repro-job/1``).
+
+A *job* is one request to plan a named circuit. Its whole lifecycle is
+a single JSON document — spooled to disk by the queue, shipped over
+HTTP by the server, and updated in place as the supervisor moves it
+through its states::
+
+    {"schema": "repro-job/1", "id": "j00000001-4fa2b6c1",
+     "circuit": "s298", "options": {"quick": true, "iterations": 1,
+     "verify": false}, "state": "queued", "created": ..., "updated": ...,
+     "attempts": 0, "max_attempts": 2, "deadline": null,
+     "not_before": null, "worker": null, "result": null,
+     "error": null, "exit_code": null}
+
+States and their meaning (the spool directory a record lives in is the
+authoritative coarse state — see :mod:`repro.serve.queue`):
+
+* ``queued``   — accepted, waiting for a worker slot;
+* ``running``  — claimed by the supervisor, a worker process owns it;
+* ``done``     — the worker produced a result (the plan may still be
+  unconverged or infeasible — ``exit_code`` carries the per-plan
+  verdict exactly as the one-shot ``plan`` CLI would have exited);
+* ``failed``   — no result will ever come (flow error, attempts
+  exhausted after crashes, deadline with no retries left);
+* ``canceled`` — withdrawn by a client (stored under ``failed/``).
+
+``attempts`` counts claims; a crash or deadline kill requeues the job
+until ``max_attempts`` is exhausted, and every retry resumes from the
+job's checkpoint directory so the eventual result is bit-identical to
+an undisturbed run. ``not_before`` implements retry backoff;
+``deadline`` is the per-job wall-clock budget in seconds.
+
+Job ids embed a zero-padded sequence number, so lexicographic filename
+order *is* FIFO submission order, plus a random suffix so ids are
+never reused across spool generations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import ServeError
+
+JOB_SCHEMA = "repro-job/1"
+
+#: Every legal ``state`` value.
+JOB_STATES = ("queued", "running", "done", "failed", "canceled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "canceled")
+
+#: Job options the service accepts, with defaults. Everything else is
+#: rejected at submission time — a multi-tenant queue must not accept
+#: records it cannot run.
+_OPTION_DEFAULTS: Dict[str, Any] = {
+    "quick": False,
+    "iterations": 2,
+    "verify": False,
+}
+
+
+def normalize_options(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Validated, defaulted copy of a submission's ``options``.
+
+    Raises:
+        ServeError: Unknown option names or ill-typed values.
+    """
+    out = dict(_OPTION_DEFAULTS)
+    for key, value in (options or {}).items():
+        if key not in _OPTION_DEFAULTS:
+            raise ServeError(
+                f"unknown job option {key!r} "
+                f"(expected one of {', '.join(sorted(_OPTION_DEFAULTS))})"
+            )
+        if key == "iterations":
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ServeError(f"iterations must be an int >= 1, got {value!r}")
+        elif not isinstance(value, bool):
+            raise ServeError(f"{key} must be a bool, got {value!r}")
+        out[key] = value
+    return out
+
+
+def new_job_id(seq: int) -> str:
+    """Allocate a job id: FIFO-sortable sequence + collision suffix."""
+    return f"j{seq:08d}-{os.urandom(4).hex()}"
+
+
+def job_seq(job_id: str) -> int:
+    """The sequence number embedded in a job id (0 when malformed)."""
+    try:
+        return int(job_id[1:9])
+    except (ValueError, IndexError):
+        return 0
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """One job's full state, as spooled and as served over HTTP."""
+
+    id: str
+    circuit: str
+    options: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    state: str = "queued"
+    created: float = 0.0
+    updated: float = 0.0
+    attempts: int = 0
+    max_attempts: int = 2
+    deadline: Optional[float] = None
+    not_before: Optional[float] = None
+    worker: Optional[Dict[str, Any]] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    exit_code: Optional[int] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def touch(self, now: Optional[float] = None) -> None:
+        self.updated = time.time() if now is None else now
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        doc = dataclasses.asdict(self)
+        doc["schema"] = JOB_SCHEMA
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "JobRecord":
+        """Parse and validate one ``repro-job/1`` document.
+
+        Raises:
+            ServeError: Structural problems — wrong schema, missing
+                fields, an unknown state — so the queue can quarantine
+                a corrupt record instead of acting on it.
+        """
+        if not isinstance(doc, dict):
+            raise ServeError(f"job record is not an object: {type(doc).__name__}")
+        if doc.get("schema") != JOB_SCHEMA:
+            raise ServeError(
+                f"expected schema {JOB_SCHEMA!r}, got {doc.get('schema')!r}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        fields = {k: v for k, v in doc.items() if k in known}
+        for required in ("id", "circuit", "state"):
+            if not isinstance(fields.get(required), str) or not fields[required]:
+                raise ServeError(f"job record missing {required!r}")
+        if fields["state"] not in JOB_STATES:
+            raise ServeError(f"unknown job state {fields['state']!r}")
+        if not isinstance(fields.get("options", {}), dict):
+            raise ServeError("job options must be an object")
+        for num in ("attempts", "max_attempts"):
+            if num in fields and not isinstance(fields[num], int):
+                raise ServeError(f"{num} must be an int")
+        return cls(**fields)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobRecord":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"job record is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)

@@ -1,0 +1,162 @@
+"""Concurrent-writer safety of the compile cache and atomic_write.
+
+The service's worker pool (and ``table1 --jobs``) share one
+content-addressed store with no locking; these tests hammer that
+contract: parallel writers racing on the *same* destination must never
+produce a torn, interleaved, or quarantine-worthy file, and every
+concurrent reader must observe a complete document.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import threading
+from pathlib import Path
+
+from repro.compile import CompileCache
+from repro.compile.artifact import compile_fingerprint
+from repro.ioutil import atomic_write
+from repro.netlist import s27_graph
+
+
+def _hammer_atomic_write(path_str: str, writer_id: int, rounds: int) -> None:
+    # Each writer rewrites the same destination with a self-consistent
+    # document: payload digest in the header. A torn write breaks the
+    # digest; interleaved staging breaks the JSON.
+    path = Path(path_str)
+    for i in range(rounds):
+        payload = f"writer={writer_id} round={i} ".encode() * 200
+        doc = {
+            "writer": writer_id,
+            "round": i,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload.decode(),
+        }
+        atomic_write(path, json.dumps(doc))
+
+
+class TestAtomicWriteConcurrency:
+    def test_two_processes_never_tear_the_destination(self, tmp_path):
+        target = tmp_path / "contested.json"
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_atomic_write, args=(str(target), w, 50)
+            )
+            for w in range(2)
+        ]
+        for p in procs:
+            p.start()
+        # Read concurrently while the writers race.
+        observed = 0
+        while any(p.is_alive() for p in procs):
+            if target.exists():
+                doc = json.loads(target.read_text())  # must always parse
+                digest = hashlib.sha256(doc["payload"].encode()).hexdigest()
+                assert digest == doc["sha256"]
+                observed += 1
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert observed > 0
+        # Whole-file winner, and no staging litter left behind.
+        final = json.loads(target.read_text())
+        assert final["round"] == 49
+        assert list(tmp_path.glob(".*.tmp.*")) == []
+
+    def test_threads_sharing_a_pid_get_distinct_staging_files(self, tmp_path):
+        # The O_EXCL + attempt-counter naming is what keeps same-pid
+        # threads apart; 8 threads x 25 writes with no corruption.
+        target = tmp_path / "threaded.json"
+        errors = []
+
+        def work(writer_id):
+            try:
+                _hammer_atomic_write(str(target), writer_id, 25)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        doc = json.loads(target.read_text())
+        assert hashlib.sha256(doc["payload"].encode()).hexdigest() == doc["sha256"]
+
+    def test_stale_staging_file_is_not_reused(self, tmp_path):
+        # A leftover from a killed writer (same pid, attempt 0) must
+        # not be written through; the next write claims attempt 1.
+        target = tmp_path / "out.txt"
+        stale = tmp_path / f".out.txt.tmp.{os.getpid()}.0"
+        stale.write_text("leftover from a killed writer")
+        atomic_write(target, "fresh")
+        assert target.read_text() == "fresh"
+        assert stale.read_text() == "leftover from a killed writer"
+
+
+def _cache_writer(root: str, rounds: int, out_queue) -> None:
+    from repro.compile import CompileCache
+    from repro.netlist import s27_graph
+
+    try:
+        cache = CompileCache(root, mode="auto")
+        graph = s27_graph()
+        for _ in range(rounds):
+            artifact, _hit = cache.get_or_compile(graph)
+            # Force repeated disk writes of identical content: the
+            # second process races these against its own.
+            artifact.dirty = True
+            cache.put(artifact)
+        out_queue.put(("ok", cache.stats.to_dict()))
+    except Exception as exc:  # pragma: no cover - the assertion
+        out_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class TestCompileCacheConcurrency:
+    def test_two_process_stress_leaves_one_clean_artifact(self, tmp_path):
+        root = tmp_path / "cc"
+        ctx = multiprocessing.get_context("spawn")
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(target=_cache_writer, args=(str(root), 15, out))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        results = [out.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+        assert all(tag == "ok" for tag, _ in results), results
+        # One artifact, loadable, never quarantined.
+        reader = CompileCache(root, mode="readonly")
+        fingerprint = compile_fingerprint(s27_graph())
+        assert reader.get(fingerprint) is not None
+        assert not (root / "quarantine").exists() or not list(
+            (root / "quarantine").glob("*")
+        )
+        assert len(list(root.glob("*.cc"))) == 1
+
+    def test_identical_payload_write_is_skipped(self, tmp_path):
+        cache = CompileCache(tmp_path / "cc", mode="auto")
+        artifact, hit = cache.get_or_compile(s27_graph())
+        assert not hit
+        writes_before = cache.stats.writes
+        path = cache.path_for(artifact.fingerprint)
+        mtime = path.stat().st_mtime_ns
+        cache.put(artifact)  # same content: must skip the rewrite
+        assert cache.stats.writes == writes_before
+        assert cache.stats.skipped_writes == 1
+        assert path.stat().st_mtime_ns == mtime
+
+    def test_mismatched_existing_file_is_rewritten(self, tmp_path):
+        cache = CompileCache(tmp_path / "cc", mode="auto")
+        artifact, _ = cache.get_or_compile(s27_graph())
+        path = cache.path_for(artifact.fingerprint)
+        path.write_bytes(b'{"schema": "repro-compile/1"}\ngarbage')
+        cache.put(artifact)
+        # Rewritten whole; a fresh cache loads it fine.
+        fresh = CompileCache(tmp_path / "cc", mode="readonly")
+        assert fresh.get(artifact.fingerprint) is not None

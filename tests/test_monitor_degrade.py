@@ -1,0 +1,140 @@
+"""Graceful degradation of the resource monitor.
+
+A broken sample source (no ``/proc`` on the platform, a sandbox
+denying the reads, a patched-failing ``sample_fn``) must never take a
+planning run down or smear zeros into its traces: the sampler flips
+``degraded``, skips the background thread, and closes spans unstamped.
+"""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.monitor import MONITOR_ATTRS, ResourceSampler
+
+
+class FakeClock:
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+def _boom():
+    raise OSError("statm: permission denied")
+
+
+class TestDegradedSampler:
+    def test_failing_sample_fn_degrades_instead_of_raising(self):
+        sampler = ResourceSampler(clock=FakeClock(), sample_fn=_boom)
+        sample = sampler.sample_once()  # must not raise
+        assert sampler.degraded
+        assert sample.rss_bytes == 0 and sample.cpu_seconds == 0.0
+
+    def test_degraded_spans_close_unstamped(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        sampler = ResourceSampler(
+            interval=1e-6, clock=clock, sample_fn=_boom
+        )
+        tracer.add_listener(sampler)
+        with tracer.span("root"):
+            with tracer.span("stage", kind="stage"):
+                pass
+        for span in tracer.spans:
+            for attr in MONITOR_ATTRS:
+                assert attr not in span.attrs, (span.name, attr)
+
+    def test_start_probes_once_and_skips_the_thread(self):
+        sampler = ResourceSampler(interval=0.001, sample_fn=_boom)
+        with sampler:
+            pass
+        assert sampler.degraded
+        assert sampler._thread is None
+        assert sampler.samples_taken == 1  # the probe, nothing more
+
+    def test_degradation_is_logged_once_at_debug(self, caplog):
+        import logging
+
+        sampler = ResourceSampler(clock=FakeClock(), sample_fn=_boom)
+        with caplog.at_level(logging.DEBUG, logger="repro.obs.monitor"):
+            sampler.sample_once()
+            sampler.sample_once()
+        hits = [
+            r
+            for r in caplog.records
+            if "resource sampling unavailable" in r.message
+        ]
+        assert len(hits) == 1
+        assert hits[0].levelno == logging.DEBUG
+
+    def test_late_failure_reuses_last_good_sample(self):
+        # Source works, then breaks mid-run (e.g. /proc unmounted in a
+        # container teardown): peaks keep the last honest reading.
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise OSError("gone")
+            return (500, 1.0, 2)
+
+        sampler = ResourceSampler(clock=FakeClock(), sample_fn=flaky)
+        good = sampler.sample_once()
+        assert good.rss_bytes == 500 and not sampler.degraded
+        bad = sampler.sample_once()
+        assert sampler.degraded
+        assert bad.rss_bytes == 500  # carried, not zeroed
+        assert sampler.peak_rss_bytes == 500
+
+    def test_summary_reports_degraded(self):
+        sampler = ResourceSampler(clock=FakeClock(), sample_fn=_boom)
+        sampler.sample_once()
+        assert sampler.summary()["degraded"] is True
+        healthy = ResourceSampler(
+            clock=FakeClock(), sample_fn=lambda: (100, 1.0, 0)
+        )
+        healthy.sample_once()
+        assert "degraded" not in healthy.summary()
+
+    def test_zero_rss_source_stamps_cpu_but_not_rss(self):
+        # Platform with working CPU/GC clocks but no RSS reading (the
+        # resource-module fallback returning 0): cpu_seconds and
+        # gc_collections still land, peak_rss_bytes is omitted.
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        sampler = ResourceSampler(
+            interval=1e-6,
+            clock=clock,
+            sample_fn=lambda: (0, 2.0, 1),
+        )
+        tracer.add_listener(sampler)
+        with tracer.span("root"):
+            pass
+        root = tracer.spans[0]
+        assert "peak_rss_bytes" not in root.attrs
+        assert "cpu_seconds" in root.attrs
+        assert "gc_collections" in root.attrs
+
+    def test_planning_still_completes_degraded(self):
+        # The whole point: a monitored plan on a broken platform runs
+        # to completion and the trace is simply unstamped.
+        from repro.core import plan_interconnect
+        from repro.netlist import s27_graph
+
+        sampler = ResourceSampler(sample_fn=_boom)
+        tracer = Tracer()
+        tracer.add_listener(sampler)
+        with sampler:
+            outcome = plan_interconnect(
+                s27_graph(),
+                seed=1,
+                whitespace=0.4,
+                max_iterations=1,
+                floorplan_iterations=300,
+                tracer=tracer,
+            )
+        assert outcome.converged
+        assert sampler.degraded

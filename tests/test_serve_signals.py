@@ -1,0 +1,171 @@
+"""Signal and crash contracts of the service daemon.
+
+These are the PR's acceptance criteria, tested against the real
+daemon over a Unix socket:
+
+* SIGTERM mid-run drains gracefully: the daemon stops accepting,
+  settles its workers, exits 0, and leaves an empty ``running/``
+  spool — every job is either terminal or queued for the next daemon.
+* A worker killed hard mid-LAC (the injected ``worker_crash``, which
+  is ``os._exit(137)`` — indistinguishable from ``kill -9``) is
+  detected by the supervisor, requeued, and the retried job's Table-1
+  fields (``t_clk``, ``n_foa``, ``n_f``) are bit-identical to an
+  undisturbed run's, because the retry resumes from the job's durable
+  checkpoints.
+* A daemon killed hard (SIGKILL) leaves a recoverable spool: the next
+  daemon requeues the orphaned running job with its claim attempt
+  refunded and finishes it.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+#: The fields the crash-recovery contract is stated over.
+IDENTITY_FIELDS = ("t_clk", "n_foa", "n_f", "t_init", "t_min", "n_fn", "n_wr")
+
+
+def _start_daemon(base: Path, *extra):
+    sock = str(base / "repro.sock")
+    spool = str(base / "spool")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            sock,
+            "--spool",
+            spool,
+            *extra,
+        ],
+        env=dict(os.environ, PYTHONPATH=SRC),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    client = ServeClient(socket_path=sock)
+    deadline = time.time() + 15
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died rc={proc.returncode}: {proc.communicate()[0]}"
+            )
+        if os.path.exists(sock):
+            try:
+                client.health()
+                return proc, client, Path(spool)
+            except ServeError:
+                pass
+        time.sleep(0.1)
+    proc.kill()
+    raise AssertionError("daemon never became healthy")
+
+
+def _wait_running(client, job_id, timeout=30.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        doc = client.job(job_id)
+        if doc is not None and doc["state"] == "running":
+            return doc
+        if doc is not None and doc["state"] in ("done", "failed"):
+            raise AssertionError(f"job reached {doc['state']} before running")
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never started running")
+
+
+@pytest.mark.slow
+class TestSignalContracts:
+    def test_sigterm_drains_and_exits_clean(self, tmp_path):
+        proc, client, spool = _start_daemon(
+            tmp_path, "--workers", "1", "--drain-grace", "120"
+        )
+        status, doc = client.submit("s298", options={"quick": True})
+        assert status == 201
+        _wait_running(client, doc["id"])
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=120)
+        out = proc.stdout.read()
+        assert rc == 0, out
+        # Nothing left mid-flight; the running job finished inside the
+        # drain grace and landed in done/.
+        assert list((spool / "running").glob("*")) == [], out
+        done = list((spool / "done").glob("j*.json"))
+        assert len(done) == 1, out
+        record = json.loads(done[0].read_text())
+        assert record["state"] == "done"
+
+    def test_sigterm_with_zero_grace_requeues_resumable(self, tmp_path):
+        proc, client, spool = _start_daemon(
+            tmp_path, "--workers", "1", "--drain-grace", "0"
+        )
+        status, doc = client.submit("s298", options={"quick": True})
+        assert status == 201
+        _wait_running(client, doc["id"])
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        assert rc == 0
+        # No grace: the worker was SIGTERMed, exited 4, and the job
+        # went back to queued with its attempt refunded.
+        assert list((spool / "running").glob("*")) == []
+        queued = list((spool / "queued").glob("j*.json"))
+        assert len(queued) == 1
+        record = json.loads(queued[0].read_text())
+        assert record["attempts"] == 0
+
+    def test_daemon_sigkill_leaves_recoverable_spool(self, tmp_path):
+        proc, client, spool = _start_daemon(tmp_path, "--workers", "1")
+        status, doc = client.submit("s298", options={"quick": True})
+        assert status == 201
+        _wait_running(client, doc["id"])
+        proc.kill()  # SIGKILL: no drain, no cleanup
+        proc.wait(timeout=10)
+        # The record is still in running/ — exactly what recovery eats.
+        assert list((spool / "running").glob("j*.json"))
+        proc2, client2, _ = _start_daemon(tmp_path, "--workers", "1")
+        try:
+            final = client2.wait(doc["id"], timeout=120)
+            assert final["state"] == "done"
+            assert final["attempts"] == 1  # restart refunded the claim
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            proc2.wait(timeout=60)
+
+    def test_worker_kill_resumes_bit_identical(self, tmp_path):
+        """The PR's headline contract: kill -9 a worker mid-LAC, the
+        job requeues, resumes from checkpoints, and its Table-1 fields
+        are bit-identical to an undisturbed run."""
+
+        def run(base, inject):
+            extra = ["--workers", "1"]
+            if inject:
+                extra += ["--inject-fault", "worker_crash"]
+            proc, client, _spool = _start_daemon(base, *extra)
+            try:
+                status, doc = client.submit("s298", options={"quick": True})
+                assert status == 201
+                return client.wait(doc["id"], timeout=240)
+            finally:
+                proc.send_signal(signal.SIGTERM)
+                proc.wait(timeout=60)
+
+        crashed = run(tmp_path / "a", inject=True)
+        clean = run(tmp_path / "b", inject=False)
+        assert crashed["state"] == "done" and clean["state"] == "done"
+        assert crashed["attempts"] == 2  # the injected kill cost one
+        assert clean["attempts"] == 1
+        assert crashed["exit_code"] == clean["exit_code"]
+        for field in IDENTITY_FIELDS:
+            assert crashed["result"][field] == clean["result"][field], field
